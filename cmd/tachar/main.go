@@ -1,0 +1,115 @@
+// Command tachar sizes an FPGA fabric for a thermal corner and dumps its
+// characterization in the paper's Table II format, plus the
+// temperature-delay curves of every resource:
+//
+//	tachar [-corner 25] [-sweep] [-compare 0,25,100]
+//
+// With -sweep it prints per-resource delay over 0..100 °C; with -compare it
+// sizes one device per listed corner and prints the Fig. 2/3-style
+// cross-evaluation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tafpga/internal/arch"
+	"tafpga/internal/coffe"
+	"tafpga/internal/techmodel"
+)
+
+func main() {
+	corner := flag.Float64("corner", 25, "sizing corner in °C")
+	sweep := flag.Bool("sweep", false, "print per-resource delay over 0..100 °C")
+	compare := flag.String("compare", "", "comma-separated corners to cross-evaluate")
+	vprOut := flag.String("vpr", "", "write a VPR-style architecture XML to this path")
+	vprTemp := flag.Float64("vpr-temp", 25, "characterization temperature for -vpr")
+	flag.Parse()
+
+	kit := techmodel.Default22nm()
+	params := coffe.DefaultParams()
+
+	dev, err := coffe.SizeDevice(kit, params, *corner)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tachar:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Device sized for %.0f°C — Table II characterization\n", *corner)
+	fmt.Println("resource     area(um2) | delay(ps)      | Pdyn(uW) | Plkg(uW)")
+	for _, ch := range dev.CharacterizeAll() {
+		fmt.Println(ch)
+	}
+	fmt.Printf("soft logic tile area: %.0f um2\n", dev.SoftTileArea())
+	fmt.Printf("representative CP: %.1f ps @0C, %.1f ps @25C, %.1f ps @100C\n",
+		dev.RepCP(0), dev.RepCP(25), dev.RepCP(100))
+
+	if *vprOut != "" {
+		f, err := os.Create(*vprOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tachar:", err)
+			os.Exit(1)
+		}
+		if err := arch.WriteVPRXML(f, dev, *vprTemp); err != nil {
+			fmt.Fprintln(os.Stderr, "tachar:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tachar:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote VPR architecture (characterized at %.0f°C) to %s\n", *vprTemp, *vprOut)
+	}
+
+	if *sweep {
+		fmt.Println("\nDelay sweep (ps):")
+		fmt.Printf("%8s", "T(C)")
+		for _, k := range coffe.Kinds() {
+			fmt.Printf("%12s", k)
+		}
+		fmt.Println()
+		for t := 0.0; t <= 100; t += 10 {
+			fmt.Printf("%8.0f", t)
+			for _, k := range coffe.Kinds() {
+				fmt.Printf("%12.1f", dev.Delay(k, t))
+			}
+			fmt.Println()
+		}
+	}
+
+	if *compare != "" {
+		var corners []float64
+		for _, f := range strings.Split(*compare, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tachar: bad corner list:", err)
+				os.Exit(1)
+			}
+			corners = append(corners, v)
+		}
+		devs := map[float64]*coffe.Device{*corner: dev}
+		for _, c := range corners {
+			if _, ok := devs[c]; !ok {
+				d, err := coffe.SizeDevice(kit, params, c)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "tachar:", err)
+					os.Exit(1)
+				}
+				devs[c] = d
+			}
+		}
+		fmt.Println("\nCross-evaluation (representative CP / BRAM / DSP delay in ps):")
+		for _, eval := range corners {
+			fmt.Printf("run @%3.0fC:", eval)
+			for _, c := range corners {
+				d := devs[c]
+				fmt.Printf("  D%-3.0f cp=%6.1f bram=%6.1f dsp=%6.1f |", c,
+					d.RepCP(eval), d.Delay(coffe.BRAM, eval), d.Delay(coffe.DSP, eval))
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Command taexp regenerates every table and figure of the paper's
+// evaluation from the reimplemented flow. Run it with no arguments to
+// reproduce the full set, or name specific experiments:
+//
+//	taexp [flags] [fig1 fig2 fig3 table1 table2 fig6 fig7 fig8 ablations scorecard]
+//
+// Flags:
+//
+//	-scale f    benchmark scale relative to the published sizes (default 1/16)
+//	-w n        router channel-width override (default: Table I's 320)
+//	-effort f   placement effort (default 1.0)
+//	-bench csv  restrict Fig. 6/7/8 to a comma-separated benchmark list
+//	-csv dir    also write machine-readable CSVs into dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tafpga/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0/16, "benchmark scale")
+	width := flag.Int("w", 0, "router channel-width override (0 = Table I)")
+	effort := flag.Float64("effort", 1.0, "placement effort")
+	benchCSV := flag.String("bench", "", "comma-separated benchmark subset")
+	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "taexp:", err)
+			os.Exit(1)
+		}
+	}
+
+	ctx := experiments.NewContext(*scale)
+	ctx.ChannelTracks = *width
+	ctx.PlaceEffort = *effort
+	if *benchCSV != "" {
+		ctx.Benchmarks = strings.Split(*benchCSV, ",")
+	}
+
+	wanted := flag.Args()
+	if len(wanted) == 0 {
+		wanted = []string{"fig1", "fig2", "fig3", "table1", "table2", "fig6", "fig7", "fig8", "ablations", "scorecard"}
+	}
+	for _, name := range wanted {
+		start := time.Now()
+		if err := run(ctx, name, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "taexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(ctx *experiments.Context, name, csvDir string) error {
+	csvOut := func(file string, write func(io.Writer) error) error {
+		if csvDir == "" {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(csvDir, file))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	switch name {
+	case "fig1":
+		ss, err := ctx.Fig1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSeries("Fig. 1: delay increase vs 0C (%) — paper: CP +47%, DSP up to +84% at 100C", ss, "%.1f%%"))
+		if err := csvOut("fig1.csv", func(w io.Writer) error { return experiments.WriteSeriesCSV(w, ss) }); err != nil {
+			return err
+		}
+	case "fig2":
+		rows, err := ctx.Fig2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig2(rows))
+		fmt.Println("paper: every device fastest at its own corner; BRAM most corner-sensitive")
+		if err := csvOut("fig2.csv", func(w io.Writer) error { return experiments.WriteFig2CSV(w, rows) }); err != nil {
+			return err
+		}
+	case "fig3":
+		ss, err := ctx.Fig3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSeries("Fig. 3: representative CP delay (ps) vs T — paper: D0 best at 0C (+6.3% over D100), D100 best at 100C (+9.0%), D25 optimal in [20,65]C", ss, "%.1f"))
+		if err := csvOut("fig3.csv", func(w io.Writer) error { return experiments.WriteSeriesCSV(w, ss) }); err != nil {
+			return err
+		}
+	case "table1":
+		fmt.Println("Table I: architectural parameters")
+		fmt.Print(ctx.Table1())
+	case "table2":
+		chars, err := ctx.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table II: area (um2) | delay (ps, a+bT) | Pdyn (uW @100MHz, a=1) | Plkg (uW)")
+		for _, ch := range chars {
+			fmt.Println(ch)
+		}
+		if err := csvOut("table2.csv", func(w io.Writer) error { return experiments.WriteTable2CSV(w, chars) }); err != nil {
+			return err
+		}
+	case "fig6":
+		rs, err := ctx.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatBench("Fig. 6: guardbanding gain at Tamb=25C — paper average 36.5%", rs))
+		if err := csvOut("fig6.csv", func(w io.Writer) error { return experiments.WriteBenchCSV(w, rs) }); err != nil {
+			return err
+		}
+	case "fig7":
+		rs, err := ctx.Fig7()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatBench("Fig. 7: guardbanding gain at Tamb=70C — paper average 14%", rs))
+		if err := csvOut("fig7.csv", func(w io.Writer) error { return experiments.WriteBenchCSV(w, rs) }); err != nil {
+			return err
+		}
+	case "fig8":
+		rs, err := ctx.Fig8()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatBench("Fig. 8: 70C-optimized fabric vs typical at Tamb=70C (both guardbanded) — paper average 6.7%", rs))
+		if err := csvOut("fig8.csv", func(w io.Writer) error { return experiments.WriteBenchCSV(w, rs) }); err != nil {
+			return err
+		}
+	case "scorecard":
+		claims, err := ctx.Scorecard()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Reproduction scorecard (paper claim vs measured, with acceptance bands):")
+		fmt.Print(experiments.FormatScorecard(claims))
+	case "ablations":
+		type ab struct {
+			title string
+			fn    func(float64) ([]experiments.AblationRow, error)
+		}
+		for _, a := range []ab{
+			{"Ablation: deltaT margin (Tamb=25C)", ctx.AblationDeltaT},
+			{"Ablation: per-tile vs uniform temperature (Tamb=25C)", ctx.AblationUniformT},
+			{"Ablation: leakage-temperature feedback (Tamb=70C)", ctx.AblationNoLeakFeedback},
+			{"Ablation: placement effort (Tamb=25C)", ctx.AblationPlacement},
+		} {
+			amb := 25.0
+			if strings.Contains(a.title, "70C") {
+				amb = 70
+			}
+			rows, err := a.fn(amb)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatAblation(a.title, rows))
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

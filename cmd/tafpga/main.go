@@ -1,0 +1,156 @@
+// Command tafpga runs the thermal-aware CAD flow on one benchmark:
+//
+//	tafpga [flags] <benchmark>
+//	tafpga -list
+//
+// It sizes (or reuses) a device for the requested corner, implements the
+// design (pack → place → route), runs the paper's Algorithm 1 guardbanding
+// at the given ambient temperature, and reports the thermally-aware clock
+// against the conventional worst-case baseline, the converged thermal map
+// statistics, and the critical-path composition.
+//
+// Flags:
+//
+//	-list         list the available benchmarks and their profiles
+//	-scale f      benchmark scale (default 1/16 of the published size)
+//	-corner f     device sizing corner in °C (default 25)
+//	-ambient f    ambient temperature for guardbanding (default 25)
+//	-w n          router channel-width override (0 = Table I's 320)
+//	-effort f     placement effort (default 1.0)
+//	-seed n       random seed override (default: derived from the name)
+//	-blif path    write the generated netlist as BLIF to path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tafpga"
+	"tafpga/internal/bench"
+	"tafpga/internal/coffe"
+	"tafpga/internal/flow"
+	"tafpga/internal/netlist"
+	"tafpga/internal/sta"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list benchmarks")
+	scale := flag.Float64("scale", bench.DefaultScale, "benchmark scale")
+	corner := flag.Float64("corner", 25, "device sizing corner °C")
+	ambient := flag.Float64("ambient", 25, "ambient temperature °C")
+	width := flag.Int("w", 0, "router channel-width override")
+	effort := flag.Float64("effort", 1.0, "placement effort")
+	seed := flag.Int64("seed", 0, "seed override")
+	blifOut := flag.String("blif", "", "write generated netlist as BLIF")
+	blifIn := flag.String("in", "", "implement this BLIF file instead of a generated benchmark")
+	vdd := flag.Float64("vdd", 0, "core supply override in volts (0 = Table I's 0.8 V)")
+	paths := flag.Int("paths", 0, "report the N worst timing endpoints")
+	powerRep := flag.Bool("power", false, "report the power breakdown at the converged operating point")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmark           LUTs    FFs  BRAMs  DSPs  depth")
+		for _, p := range tafpga.Benchmarks() {
+			fmt.Printf("%-18s %6d %6d %6d %5d %6d\n", p.Name, p.LUTs, p.FFs, p.BRAMs, p.DSPs, p.Depth)
+		}
+		return
+	}
+	if flag.NArg() != 1 && *blifIn == "" {
+		fmt.Fprintln(os.Stderr, "usage: tafpga [flags] <benchmark>   (see -list; or -in design.blif)")
+		os.Exit(2)
+	}
+	name := "external"
+	if *blifIn == "" {
+		name = flag.Arg(0)
+	}
+
+	cfg := tafpga.NewConfig()
+	if *vdd > 0 {
+		var err error
+		cfg, err = cfg.AtVdd(*vdd)
+		die(err)
+		fmt.Printf("core rail set to %.2f V\n", *vdd)
+	}
+	fmt.Printf("sizing device for %.0f°C…\n", *corner)
+	dev, err := cfg.SizeDevice(*corner)
+	die(err)
+
+	var nl *tafpga.Netlist
+	if *blifIn != "" {
+		f, err := os.Open(*blifIn)
+		die(err)
+		nl, err = netlist.ParseBLIF(f)
+		die(err)
+		die(f.Close())
+		fmt.Printf("%s (from %s): %v\n", nl.Name, *blifIn, nl.Stats())
+	} else {
+		nl, err = tafpga.GenerateBenchmark(name, *scale)
+		die(err)
+		fmt.Printf("%s @ scale %.4g: %v\n", name, *scale, nl.Stats())
+	}
+
+	if *blifOut != "" {
+		f, err := os.Create(*blifOut)
+		die(err)
+		die(nl.WriteBLIF(f))
+		die(f.Close())
+		fmt.Println("wrote", *blifOut)
+	}
+
+	opts := flow.DefaultOptions()
+	opts.ChannelTracks = *width
+	opts.PlaceEffort = *effort
+	if *seed != 0 {
+		opts.Seed = *seed
+	} else {
+		opts.Seed = bench.SeedFor(name)
+	}
+	im, err := tafpga.Implement(nl, dev, opts)
+	die(err)
+	fmt.Printf("implemented on %s (router: %d iterations, %s)\n", im.Grid, im.Routed.Iters, im.Routed.Graph)
+
+	res, err := im.Guardband(tafpga.GuardbandOptions(*ambient))
+	die(err)
+
+	fmt.Printf("\nThermal-aware guardbanding at Tamb = %.0f°C (Algorithm 1):\n", *ambient)
+	fmt.Printf("  fmax (thermal-aware)  %8.1f MHz\n", res.FmaxMHz)
+	fmt.Printf("  fmax (Tworst=100°C)   %8.1f MHz\n", res.BaselineMHz)
+	fmt.Printf("  improvement           %8.1f %%\n", res.GainPct)
+	fmt.Printf("  converged in          %8d iterations\n", res.Iterations)
+	fmt.Printf("  mean rise / spread    %8.2f / %.2f °C\n", res.RiseC, res.SpreadC)
+
+	fmt.Println("\nCritical-path composition at the converged corner (ps):")
+	kinds := make([]coffe.ResourceKind, 0, len(res.Breakdown))
+	for k := range res.Breakdown {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("  %-12s %8.1f\n", k, res.Breakdown[k])
+	}
+
+	if *paths > 0 {
+		fmt.Printf("\nWorst %d timing endpoints at the converged corner:\n", *paths)
+		fmt.Print(sta.FormatPaths(im.Timing.TopPaths(res.Temps, *paths)))
+	}
+
+	if *powerRep {
+		b := im.Power.Report(res.FmaxMHz, res.Temps)
+		fmt.Printf("\nPower at %.1f MHz, converged temperatures (µW):\n", res.FmaxMHz)
+		fmt.Printf("  logic dynamic      %10.1f\n", b.DynLogicUW)
+		fmt.Printf("  routing dynamic    %10.1f\n", b.DynRoutingUW)
+		fmt.Printf("  macro dynamic      %10.1f\n", b.DynMacroUW)
+		fmt.Printf("  clocking           %10.1f\n", b.DynClockingUW)
+		fmt.Printf("  leakage            %10.1f\n", b.LeakUW)
+		fmt.Printf("  total              %10.1f\n", b.TotalUW())
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tafpga:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+// Cornerexplorer: the paper's Section III-B/III-C study as an API tour —
+// size fabrics for several thermal corners, cross-evaluate their
+// representative critical paths over the full junction range (Fig. 3), and
+// pick the corner minimizing expected delay (Eq. 1) for three different
+// field conditions.
+//
+//	go run ./examples/cornerexplorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tafpga"
+)
+
+func main() {
+	cfg := tafpga.NewConfig()
+	lib := cfg.DeviceLibrary()
+	corners := []float64{0, 25, 70, 100}
+
+	// Fig. 3-style sweep: absolute CP delay of each corner-sized device.
+	fmt.Println("representative CP delay (ps) vs operating temperature:")
+	fmt.Printf("%8s", "T(C)")
+	for _, c := range corners {
+		fmt.Printf("%10s", fmt.Sprintf("D%.0f", c))
+	}
+	fmt.Println()
+	for t := 0.0; t <= 100; t += 10 {
+		fmt.Printf("%8.0f", t)
+		for _, c := range corners {
+			d, err := lib.Device(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%10.1f", d.RepCP(t))
+		}
+		fmt.Println()
+	}
+
+	// Eq. 1: expected delay over a uniform field range, per corner.
+	fields := []struct {
+		name       string
+		tMin, tMax float64
+	}{
+		{"outdoor telecom cabinet", -5, 35},
+		{"office edge server", 20, 55},
+		{"datacenter accelerator", 55, 100},
+	}
+	for _, f := range fields {
+		choices, err := cfg.SelectCorner(f.tMin, f.tMax, corners)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nfield %q (%.0f..%.0f°C): expected CP delay per corner\n", f.name, f.tMin, f.tMax)
+		for _, ch := range choices {
+			fmt.Printf("  D%-4.0f E[d] = %7.2f ps\n", ch.CornerC, ch.ExpectedDelay)
+		}
+		best := choices[0]
+		penalty := (choices[len(choices)-1].ExpectedDelay/best.ExpectedDelay - 1) * 100
+		fmt.Printf("  → pick D%.0f (worst candidate costs +%.1f%%)\n", best.CornerC, penalty)
+	}
+
+	// The grade menu shorthand.
+	fmt.Println("\nstandard grades:")
+	for _, g := range tafpga.StandardGrades() {
+		fmt.Printf("  %-10s corner %3.0f°C, field %.0f..%.0f°C\n", g.Name, g.CornerC, g.FieldMinC, g.FieldMaxC)
+	}
+}

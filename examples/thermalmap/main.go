@@ -1,0 +1,82 @@
+// Thermalmap: run Algorithm 1 on a benchmark and render the converged
+// per-tile temperature map as ASCII art, together with the per-tile timing
+// margin the thermal-aware flow recovers. This makes the paper's central
+// point visible: the die is not isothermal, so a single worst-case margin
+// wastes headroom almost everywhere.
+//
+//	go run ./examples/thermalmap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tafpga"
+	"tafpga/internal/hotspot"
+)
+
+func main() {
+	cfg := tafpga.NewConfig()
+	dev, err := cfg.SizeDevice(25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl, err := tafpga.GenerateBenchmark("raygentop", 1.0/16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := tafpga.DefaultFlowOptions()
+	opts.ChannelTracks = 104
+	im, err := tafpga.Implement(nl, dev, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := im.Guardband(tafpga.GuardbandOptions(45))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lo := res.Temps[0]
+	hi := lo
+	for _, t := range res.Temps {
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	fmt.Printf("%v on %s\n", nl.Stats(), im.Grid)
+	fmt.Printf("converged thermal map at Tamb=45°C: %.2f..%.2f°C (spread %.2f°C, mean rise %.2f°C)\n\n",
+		lo, hi, hotspot.Spread(res.Temps), res.RiseC)
+
+	// Render: one character per tile, '.'=coolest … '9'=hottest.
+	ramp := []byte(".:-=+*#%@9")
+	for y := 0; y < im.Grid.H; y++ {
+		for x := 0; x < im.Grid.W; x++ {
+			t := res.Temps[im.Grid.Index(x, y)]
+			idx := 0
+			if hi > lo {
+				idx = int((t - lo) / (hi - lo) * float64(len(ramp)-1))
+			}
+			fmt.Printf("%c", ramp[idx])
+		}
+		switch y {
+		case 0:
+			fmt.Printf("   fmax thermal-aware: %.1f MHz", res.FmaxMHz)
+		case 1:
+			fmt.Printf("   fmax worst-case:    %.1f MHz", res.BaselineMHz)
+		case 2:
+			fmt.Printf("   recovered: +%.1f%%", res.GainPct)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ncolumn classes (row 1 of the fabric):")
+	for x := 0; x < im.Grid.W; x++ {
+		c := im.Grid.Class(x, 1)
+		fmt.Printf("%c", c.String()[0])
+	}
+	fmt.Println("  (l=logic, b=bram, d=dsp, i=io)")
+}

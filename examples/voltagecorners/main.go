@@ -1,0 +1,65 @@
+// Voltagecorners: the voltage half of corner notation ("100°C@0.8V") and
+// the temperature-voltage interplay. The example re-characterizes the core
+// rail at three supplies and shows two effects the thermal-aware flow must
+// reason about together:
+//
+//  1. a higher rail buys speed at every temperature (and pays leakage), and
+//
+//  2. a lower rail flattens the temperature sensitivity (the trend toward
+//     inverted temperature dependence), shrinking what worst-case
+//     guardbanding over-provisions in the first place.
+//
+//     go run ./examples/voltagecorners
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tafpga"
+)
+
+func main() {
+	base := tafpga.NewConfig()
+	supplies := []float64{0.7, 0.8, 0.9}
+
+	devs := map[float64]*tafpga.Device{}
+	for _, v := range supplies {
+		cfg, err := base.AtVdd(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := cfg.SizeDevice(25)
+		if err != nil {
+			log.Fatal(err)
+		}
+		devs[v] = d
+	}
+
+	fmt.Println("representative CP delay (ps) of a 25°C-sized fabric per core rail:")
+	fmt.Printf("%8s", "T(C)")
+	for _, v := range supplies {
+		fmt.Printf("%12s", fmt.Sprintf("%.1fV", v))
+	}
+	fmt.Println()
+	for t := 0.0; t <= 100; t += 20 {
+		fmt.Printf("%8.0f", t)
+		for _, v := range supplies {
+			fmt.Printf("%12.1f", devs[v].RepCP(t))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ntemperature sensitivity (delay at 100°C / delay at 0°C):")
+	for _, v := range supplies {
+		d := devs[v]
+		fmt.Printf("  %.1fV: %.3f\n", v, d.RepCP(100)/d.RepCP(0))
+	}
+
+	fmt.Println("\nworst-case guardband cost per rail (clocking for 100°C while running at 25°C):")
+	for _, v := range supplies {
+		d := devs[v]
+		overhead := (d.RepCP(100)/d.RepCP(25) - 1) * 100
+		fmt.Printf("  %.1fV: +%.1f%% delay margin wasted\n", v, overhead)
+	}
+}

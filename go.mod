@@ -1,0 +1,3 @@
+module tafpga
+
+go 1.22

@@ -1,0 +1,90 @@
+package activity
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tafpga/internal/netlist"
+)
+
+// WriteACE emits the estimated activities in the ACE 2.0 text format the
+// paper's flow exchanges between the activity estimator and the power
+// script: one line per net, "<net-name> <static-probability>
+// <switching-probability> <switching-density>".
+func WriteACE(w io.Writer, nl *netlist.Netlist, act []Stats) error {
+	if len(act) != len(nl.Blocks) {
+		return fmt.Errorf("activity: %d stats for %d blocks", len(act), len(nl.Blocks))
+	}
+	bw := bufio.NewWriter(w)
+	for i := range nl.Blocks {
+		b := &nl.Blocks[i]
+		if b.Type == netlist.Output || len(nl.Sinks[i]) == 0 {
+			continue
+		}
+		name := b.Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", i)
+		}
+		sw := 2 * act[i].P1 * (1 - act[i].P1) // ACE's switching probability
+		if _, err := fmt.Fprintf(bw, "%s %.6f %.6f %.6f\n", name, act[i].P1, sw, act[i].Density); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseACE reads the format WriteACE emits back into per-name stats, for
+// flows that want to feed externally-measured activities into the power
+// model.
+func ParseACE(r io.Reader) (map[string]Stats, error) {
+	out := map[string]Stats{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var name string
+		var p1, sw, dens float64
+		if _, err := fmt.Sscanf(text, "%s %f %f %f", &name, &p1, &sw, &dens); err != nil {
+			return nil, fmt.Errorf("activity: line %d: %w", line, err)
+		}
+		if p1 < 0 || p1 > 1 || dens < 0 {
+			return nil, fmt.Errorf("activity: line %d: out-of-range stats", line)
+		}
+		out[name] = Stats{P1: p1, Density: dens}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyNamed overrides estimated activities with externally supplied ones
+// (matched by block name); unmatched names are reported so callers can
+// detect stale activity files. The returned slice is a copy.
+func ApplyNamed(nl *netlist.Netlist, act []Stats, named map[string]Stats) ([]Stats, []string) {
+	out := make([]Stats, len(act))
+	copy(out, act)
+	used := map[string]bool{}
+	for i := range nl.Blocks {
+		name := nl.Blocks[i].Name
+		if s, ok := named[name]; ok {
+			out[i] = s
+			used[name] = true
+		}
+	}
+	var missing []string
+	for name := range named {
+		if !used[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return out, missing
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"tafpga/internal/netlist"
+)
+
+func TestSuiteHasNineteenBenchmarks(t *testing.T) {
+	if len(VTR) != 19 {
+		t.Fatalf("the paper evaluates 19 designs, got %d", len(VTR))
+	}
+	seen := map[string]bool{}
+	for _, p := range VTR {
+		if seen[p.Name] {
+			t.Fatalf("duplicate benchmark %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestSuiteAggregatesMatchPaper(t *testing.T) {
+	// The paper: average (maximum) of 17K (89K) 6-input LUTs, 39 (334)
+	// BRAMs, and 19 (213) DSP blocks.
+	var sumL, maxL, maxB, maxD int
+	for _, p := range VTR {
+		sumL += p.LUTs
+		if p.LUTs > maxL {
+			maxL = p.LUTs
+		}
+		if p.BRAMs > maxB {
+			maxB = p.BRAMs
+		}
+		if p.DSPs > maxD {
+			maxD = p.DSPs
+		}
+	}
+	avgL := sumL / len(VTR)
+	if avgL < 12000 || avgL > 22000 {
+		t.Errorf("average LUTs %d far from the paper's 17K", avgL)
+	}
+	if maxL != 89000 {
+		t.Errorf("max LUTs %d, paper says 89K", maxL)
+	}
+	if maxB != 334 {
+		t.Errorf("max BRAMs %d, paper says 334", maxB)
+	}
+	if maxD != 213 {
+		t.Errorf("max DSPs %d, paper says 213", maxD)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("mcml")
+	if err != nil || p.LUTs != 89000 {
+		t.Fatalf("ByName(mcml) = %+v, %v", p, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestScaledRounding(t *testing.T) {
+	p := Profile{Name: "x", LUTs: 1000, FFs: 100, BRAMs: 3, DSPs: 0}
+	s := p.Scaled(1.0 / 64)
+	if s.LUTs != 16 || s.FFs != 2 {
+		t.Fatalf("scaling wrong: %+v", s)
+	}
+	if s.BRAMs < 1 {
+		t.Fatal("nonzero counts must not scale to zero")
+	}
+	if s.DSPs != 0 {
+		t.Fatal("zero counts must stay zero")
+	}
+}
+
+func TestGenerateAllBenchmarksSmall(t *testing.T) {
+	for _, p := range VTR {
+		sp := p.Scaled(1.0 / 256)
+		nl, err := Generate(sp, SeedFor(p.Name))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		st := nl.Stats()
+		if st.LUTs != sp.LUTs {
+			t.Errorf("%s: %d LUTs generated, profile wants %d", p.Name, st.LUTs, sp.LUTs)
+		}
+		if st.FFs != sp.FFs || st.BRAMs != sp.BRAMs || st.DSPs != sp.DSPs {
+			t.Errorf("%s: macro counts drifted: %+v vs %+v", p.Name, st, sp)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("sha")
+	sp := p.Scaled(1.0 / 64)
+	a, err := Generate(sp, SeedFor("sha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(sp, SeedFor("sha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Blocks) != len(b.Blocks) {
+		t.Fatal("non-deterministic block count")
+	}
+	for i := range a.Blocks {
+		ba, bb := a.Blocks[i], b.Blocks[i]
+		if ba.Type != bb.Type || ba.Truth != bb.Truth || len(ba.Inputs) != len(bb.Inputs) {
+			t.Fatalf("block %d differs between runs", i)
+		}
+		for j := range ba.Inputs {
+			if ba.Inputs[j] != bb.Inputs[j] {
+				t.Fatalf("block %d input %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	p, _ := ByName("sha")
+	sp := p.Scaled(1.0 / 64)
+	a, _ := Generate(sp, 1)
+	b, _ := Generate(sp, 2)
+	same := true
+	for i := range a.Blocks {
+		if i >= len(b.Blocks) || a.Blocks[i].Truth != b.Blocks[i].Truth {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical netlists")
+	}
+}
+
+func TestGeneratedDepthTracksProfile(t *testing.T) {
+	// Deeper profiles must produce deeper combinational DAGs.
+	shallow, _ := Generate(Profile{Name: "s", LUTs: 300, FFs: 30, Depth: 4, Locality: 0.2, PIDensity: 0.1}, 1)
+	deep, _ := Generate(Profile{Name: "d", LUTs: 300, FFs: 30, Depth: 14, Locality: 0.2, PIDensity: 0.1}, 1)
+	ds, dd := lutDepth(shallow), lutDepth(deep)
+	if dd <= ds {
+		t.Fatalf("depth ignored: %d vs %d levels", ds, dd)
+	}
+}
+
+func lutDepth(n *netlist.Netlist) int {
+	depth := make([]int, len(n.Blocks))
+	worst := 0
+	for _, id := range n.ComboOrder() {
+		b := &n.Blocks[id]
+		if b.Type != netlist.LUT {
+			continue
+		}
+		d := 0
+		for _, in := range b.Inputs {
+			if n.Blocks[in].Type == netlist.LUT && depth[in] > d {
+				d = depth[in]
+			}
+		}
+		depth[id] = d + 1
+		if depth[id] > worst {
+			worst = depth[id]
+		}
+	}
+	return worst
+}
+
+func TestSeedForStable(t *testing.T) {
+	if SeedFor("sha") != SeedFor("sha") {
+		t.Fatal("seed not stable")
+	}
+	if SeedFor("sha") == SeedFor("mcml") {
+		t.Fatal("seed collisions between names")
+	}
+	if SeedFor("sha") < 0 {
+		t.Fatal("seed must be non-negative")
+	}
+}
+
+func TestGenerateRejectsEmptyProfile(t *testing.T) {
+	if _, err := Generate(Profile{Name: "empty"}, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDefaultScale(t *testing.T) {
+	if math.Abs(DefaultScale-1.0/16) > 1e-12 {
+		t.Fatalf("default scale drifted: %g", DefaultScale)
+	}
+}

@@ -1,0 +1,192 @@
+// Package circuits models the transistor-level topologies of the FPGA's
+// configurable resources — the routing multiplexers (switch-block, connection
+// -block, local, feedback, output) and the LUT input tree — exactly at the
+// granularity COFFE models them in the paper: a handful of sized stages whose
+// Elmore delay, layout area, switched capacitance, and leakage can be
+// evaluated at any junction temperature.
+//
+// Each circuit exposes its free transistor widths through the Sizable
+// interface so the sizing engine (internal/coffe) can optimize them for a
+// target thermal corner; afterwards the frozen circuit answers Delay(T),
+// Leakage(T), Area() and CEff() queries for the CAD flow.
+package circuits
+
+import (
+	"fmt"
+	"math"
+
+	"tafpga/internal/techmodel"
+)
+
+// rcLn2 converts an RC product (kΩ·fF = ps) into a 50 % propagation delay.
+const rcLn2 = 0.69
+
+// SRAMBitArea is the layout area of one 6T configuration cell in µm².
+const SRAMBitArea = 0.15
+
+// SRAMBitWidth is the equivalent leakage width of one configuration cell
+// in µm (two cross-coupled inverters plus access devices, mostly off).
+const SRAMBitWidth = 0.24
+
+// Sizable is a circuit whose transistor widths can be tuned by the sizing
+// engine. Vars returns a copy of the current widths in µm; SetVars must
+// accept any vector within Bounds.
+type Sizable interface {
+	Name() string
+	Vars() []float64
+	SetVars(v []float64)
+	Bounds() (lo, hi []float64)
+	// Delay returns the input-to-output propagation delay in ps at the given
+	// junction temperature in °C.
+	Delay(tempC float64) float64
+	// Area returns the layout area in µm² including configuration cells.
+	Area() float64
+	// Leakage returns the static power in µW at the given temperature.
+	Leakage(tempC float64) float64
+	// CEff returns the effective switched capacitance in fF per output
+	// transition, used for dynamic power (½αCV²f).
+	CEff() float64
+}
+
+// checkVars panics when the optimizer hands a malformed vector; this is a
+// programming error, not a data error.
+func checkVars(name string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("circuits: %s expects %d sizing variables, got %d", name, want, got))
+	}
+}
+
+// twoLevelSplit returns the first- and second-level branching factors for an
+// n-input two-level pass-transistor multiplexer, following COFFE's balanced
+// sqrt decomposition.
+func twoLevelSplit(n int) (lvl1, lvl2 int) {
+	if n <= 2 {
+		return n, 1
+	}
+	lvl1 = int(math.Ceil(math.Sqrt(float64(n))))
+	lvl2 = (n + lvl1 - 1) / lvl1
+	return lvl1, lvl2
+}
+
+// Mux is a two-level pass-transistor multiplexer followed by a two-stage
+// rebuffering inverter pair, driving a metal wire and a fan-out load. It
+// models the SB, CB, local, feedback, and output muxes; only the input
+// count, wire load, and fan-out differ between them.
+type Mux struct {
+	name string
+	kit  *techmodel.Kit
+
+	// NumInputs is the mux fan-in (e.g. 12 for the switch-block mux).
+	NumInputs int
+	// WireUm is the length of metal the output buffer drives, in µm
+	// (a length-4 routing segment for the SB mux, intra-tile wiring
+	// otherwise).
+	WireUm float64
+	// FanoutFF is the capacitive load at the far end of the wire in fF
+	// (downstream mux input junctions and gate pins).
+	FanoutFF float64
+	// DriveUm is the width in µm of the upstream standard driver whose
+	// resistance precedes the input pin; it belongs to the previous
+	// resource but shapes the charging of this mux's internal nodes.
+	DriveUm float64
+
+	// Sizing variables: pass width, the two buffer widths, and the P:N
+	// split shared by the buffers.
+	wPass, wBuf1, wBuf2, pnSplit float64
+
+	// refArea anchors the area→wire-length feedback: the circuit's wire
+	// spans scale with the square root of its layout area relative to this
+	// reference, so oversizing transistors lengthens the metal they drive.
+	// This is the mechanism that makes corner-optimal sizings genuinely
+	// different (COFFE's area/wire-load loop).
+	refArea float64
+}
+
+// NewMux returns a mux circuit with sane initial sizes; the sizing engine is
+// expected to refine them.
+func NewMux(name string, kit *techmodel.Kit, inputs int, wireUm, fanoutFF, driveUm float64) *Mux {
+	if inputs < 2 {
+		panic(fmt.Sprintf("circuits: mux %s needs at least 2 inputs, got %d", name, inputs))
+	}
+	m := &Mux{
+		name: name, kit: kit,
+		NumInputs: inputs, WireUm: wireUm, FanoutFF: fanoutFF, DriveUm: driveUm,
+		wPass: 0.35, wBuf1: 0.6, wBuf2: 1.8, pnSplit: kit.NominalSplit(),
+	}
+	m.refArea = m.Area()
+	return m
+}
+
+// effWireUm is the area-scaled wire span the output buffer drives.
+func (m *Mux) effWireUm() float64 {
+	return m.WireUm * math.Sqrt(m.Area()/m.refArea)
+}
+
+func (m *Mux) Name() string    { return m.name }
+func (m *Mux) Vars() []float64 { return []float64{m.wPass, m.wBuf1, m.wBuf2, m.pnSplit} }
+
+func (m *Mux) SetVars(v []float64) {
+	checkVars(m.name, len(v), 4)
+	m.wPass, m.wBuf1, m.wBuf2, m.pnSplit = v[0], v[1], v[2], v[3]
+}
+
+func (m *Mux) Bounds() (lo, hi []float64) {
+	return []float64{0.1, 0.1, 0.1, 0.35}, []float64{4, 8, 24, 0.9}
+}
+
+// Delay evaluates the Elmore delay of the on path: upstream driver → level-1
+// pass → level-2 pass → inverter ×2 → wire → fan-out.
+func (m *Mux) Delay(tempC float64) float64 {
+	k := m.kit
+	g1, g2 := twoLevelSplit(m.NumInputs)
+	rDrive := k.BalancedRon(m.DriveUm, tempC)
+	rPass := k.Pass.Ron(m.wPass, tempC)
+
+	// Node caps: the level-1 merge node sees the junction caps of all g1
+	// first-level devices plus the source of the second-level device; the
+	// mux output node sees g2 second-level junctions plus the first
+	// inverter's gate.
+	cMid := float64(g1)*k.Pass.Cj(m.wPass) + k.Pass.Cj(m.wPass)
+	cOut := float64(g2)*k.Pass.Cj(m.wPass) + k.Buf.Cg(m.wBuf1)
+
+	d := rcLn2 * (rDrive + rPass) * cMid
+	d += rcLn2 * (rDrive + 2*rPass) * cOut
+
+	// Rebuffering inverter pair, timed on the worst edge of each stage.
+	wire := m.effWireUm()
+	d += rcLn2 * k.WorstEdgeRon(m.wBuf1, m.pnSplit, tempC) * (k.Buf.Cj(m.wBuf1) + k.Buf.Cg(m.wBuf2))
+	cWire := k.Wire.C(wire)
+	d += rcLn2 * k.WorstEdgeRon(m.wBuf2, m.pnSplit, tempC) * (k.Buf.Cj(m.wBuf2) + cWire + m.FanoutFF)
+	d += rcLn2 * k.Wire.ElmoreWire(wire, tempC, m.FanoutFF)
+	return d
+}
+
+func (m *Mux) Area() float64 {
+	k := m.kit
+	g1, g2 := twoLevelSplit(m.NumInputs)
+	passDevices := m.NumInputs + g2 // level-1 devices + one level-2 per branch
+	a := float64(passDevices) * (k.Pass.Area(m.wPass) + 0.03)
+	a += k.Buf.Area(m.wBuf1+m.wBuf2)*2 + 0.08 // N+P of each inverter
+	a += float64(g1+g2) * SRAMBitArea         // one-hot select cells
+	return a
+}
+
+func (m *Mux) Leakage(tempC float64) float64 {
+	k := m.kit
+	g1, g2 := twoLevelSplit(m.NumInputs)
+	passDevices := float64(m.NumInputs + g2)
+	// Roughly half the off devices see a full leakage-inducing bias.
+	l := 0.5 * passDevices * k.Pass.Leak(m.wPass, tempC)
+	l += k.Buf.Leak(m.wBuf1+m.wBuf2, tempC)
+	l += float64(g1+g2) * k.SRAM.Leak(SRAMBitWidth, tempC)
+	return l
+}
+
+func (m *Mux) CEff() float64 {
+	k := m.kit
+	g1, g2 := twoLevelSplit(m.NumInputs)
+	c := float64(g1+1)*k.Pass.Cj(m.wPass) + float64(g2)*k.Pass.Cj(m.wPass)
+	c += k.Buf.Cg(m.wBuf1) + k.Buf.Cj(m.wBuf1) + k.Buf.Cg(m.wBuf2) + k.Buf.Cj(m.wBuf2)
+	c += k.Wire.C(m.effWireUm()) + m.FanoutFF
+	return c
+}

@@ -1,0 +1,143 @@
+package circuits
+
+import (
+	"math"
+
+	"tafpga/internal/techmodel"
+)
+
+// LUT models a K-input look-up table as COFFE does: a 2^K-leaf NMOS
+// pass-transistor tree driven by configuration cells, with an internal
+// rebuffering inverter halfway down the tree and a two-stage output buffer
+// driving the BLE output wiring. The worst-case timing arc goes through all
+// K pass levels.
+type LUT struct {
+	name string
+	kit  *techmodel.Kit
+
+	// K is the number of LUT inputs (6 in the target architecture).
+	K int
+	// WireUm is the BLE-internal output wiring length in µm.
+	WireUm float64
+	// FanoutFF is the load at the LUT output (output mux and FF data pin).
+	FanoutFF float64
+	// DriveUm is the width of the input driver (the local mux buffer).
+	DriveUm float64
+
+	wPass, wMid, wBuf1, wBuf2, pnSplit float64
+
+	// refArea anchors the area→wire-length feedback (see Mux.refArea).
+	refArea float64
+}
+
+// NewLUT returns a LUT circuit with default initial sizes.
+func NewLUT(name string, kit *techmodel.Kit, k int, wireUm, fanoutFF, driveUm float64) *LUT {
+	if k < 2 || k > 8 {
+		panic("circuits: LUT K must be in [2,8]")
+	}
+	l := &LUT{
+		name: name, kit: kit, K: k,
+		WireUm: wireUm, FanoutFF: fanoutFF, DriveUm: driveUm,
+		wPass: 0.3, wMid: 0.8, wBuf1: 0.5, wBuf2: 1.2, pnSplit: kit.NominalSplit(),
+	}
+	l.refArea = l.Area()
+	return l
+}
+
+// effWireUm is the area-scaled BLE wire span at the LUT output.
+func (l *LUT) effWireUm() float64 {
+	return l.WireUm * math.Sqrt(l.Area()/l.refArea)
+}
+
+func (l *LUT) Name() string { return l.name }
+func (l *LUT) Vars() []float64 {
+	return []float64{l.wPass, l.wMid, l.wBuf1, l.wBuf2, l.pnSplit}
+}
+
+func (l *LUT) SetVars(v []float64) {
+	checkVars(l.name, len(v), 5)
+	l.wPass, l.wMid, l.wBuf1, l.wBuf2, l.pnSplit = v[0], v[1], v[2], v[3], v[4]
+}
+
+func (l *LUT) Bounds() (lo, hi []float64) {
+	return []float64{0.1, 0.1, 0.1, 0.1, 0.35}, []float64{3, 8, 6, 16, 0.9}
+}
+
+// lutNodeExtraFF is the fixed parasitic on every tree node beyond the two
+// device junctions: local poly/metal stubs and the parked charge of the
+// configuration-cell side loads. It is charged through the pass resistance,
+// making the LUT the most temperature-sensitive soft resource (the paper
+// quotes up to 69–86 % delay growth for the LUT vs ~40 % for the SB mux).
+const lutNodeExtraFF = 1.6
+
+// passChain returns the Elmore delay of a chain of n pass transistors whose
+// intermediate nodes each carry the junction caps of the on-path device and
+// its off-path sibling, terminated by loadFF.
+func (l *LUT) passChain(n int, rIn, loadFF, tempC float64) float64 {
+	k := l.kit
+	rp := k.Pass.Ron(l.wPass, tempC)
+	cNode := 2*k.Pass.Cj(l.wPass) + lutNodeExtraFF
+	d := 0.0
+	for i := 1; i <= n; i++ {
+		c := cNode
+		if i == n {
+			c += loadFF
+		}
+		d += rcLn2 * (rIn + float64(i)*rp) * c
+	}
+	return d
+}
+
+// Delay is the worst arc: driver → ceil(K/2) pass levels → mid inverter →
+// remaining pass levels → output buffer pair → BLE wire.
+func (l *LUT) Delay(tempC float64) float64 {
+	k := l.kit
+	firstHalf := (l.K + 1) / 2
+	secondHalf := l.K - firstHalf
+
+	rDrive := k.BalancedRon(l.DriveUm, tempC)
+	d := l.passChain(firstHalf, rDrive, k.Buf.Cg(l.wMid), tempC)
+
+	rMid := k.WorstEdgeRon(l.wMid, l.pnSplit, tempC)
+	d += rcLn2 * rMid * k.Buf.Cj(l.wMid) // mid inverter self-load
+	d += l.passChain(secondHalf, rMid, k.Buf.Cg(l.wBuf1), tempC)
+
+	wire := l.effWireUm()
+	d += rcLn2 * k.WorstEdgeRon(l.wBuf1, l.pnSplit, tempC) * (k.Buf.Cj(l.wBuf1) + k.Buf.Cg(l.wBuf2))
+	cWire := k.Wire.C(wire)
+	d += rcLn2 * k.WorstEdgeRon(l.wBuf2, l.pnSplit, tempC) * (k.Buf.Cj(l.wBuf2) + cWire + l.FanoutFF)
+	d += rcLn2 * k.Wire.ElmoreWire(wire, tempC, l.FanoutFF)
+	return d
+}
+
+// treeDevices is the total number of pass transistors in the K-level tree:
+// 2^K + 2^(K−1) + … + 2 = 2^(K+1) − 2.
+func (l *LUT) treeDevices() int { return (1 << (l.K + 1)) - 2 }
+
+func (l *LUT) Area() float64 {
+	k := l.kit
+	a := float64(l.treeDevices()) * (k.Pass.Area(l.wPass) + 0.02)
+	a += k.Buf.Area(l.wMid)*2 + 0.04
+	a += k.Buf.Area(l.wBuf1+l.wBuf2)*2 + 0.08
+	a += float64(int(1)<<l.K) * SRAMBitArea // configuration cells
+	return a
+}
+
+func (l *LUT) Leakage(tempC float64) float64 {
+	k := l.kit
+	lk := 0.5 * float64(l.treeDevices()) * k.Pass.Leak(l.wPass, tempC)
+	lk += k.Buf.Leak(l.wMid+l.wBuf1+l.wBuf2, tempC)
+	lk += float64(int(1)<<l.K) * k.SRAM.Leak(SRAMBitWidth, tempC)
+	return lk
+}
+
+func (l *LUT) CEff() float64 {
+	k := l.kit
+	// An input toggle reconfigures roughly one path down the tree: K node
+	// caps, the mid and output buffers, and the BLE wire.
+	c := float64(l.K) * (2*k.Pass.Cj(l.wPass) + lutNodeExtraFF)
+	c += k.Buf.Cg(l.wMid) + k.Buf.Cj(l.wMid)
+	c += k.Buf.Cg(l.wBuf1) + k.Buf.Cj(l.wBuf1) + k.Buf.Cg(l.wBuf2) + k.Buf.Cj(l.wBuf2)
+	c += k.Wire.C(l.effWireUm()) + l.FanoutFF
+	return c
+}

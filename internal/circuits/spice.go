@@ -1,0 +1,112 @@
+package circuits
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The paper's Fig. 5(a) feeds "handcrafted netlists" of the FPGA resources
+// to HSPICE for leakage and timing characterization. EmitSPICE regenerates
+// that artifact from the sized circuits: a SPICE subcircuit deck with the
+// optimizer's transistor widths, the temperature parameter, and the wire
+// parasitics — inspectable, diff-able, and usable as documentation of what
+// exactly was sized.
+
+// SpiceEmitter is implemented by circuits that can dump themselves as a
+// SPICE deck.
+type SpiceEmitter interface {
+	EmitSPICE(w io.Writer, tempC float64) error
+}
+
+// EmitSPICE writes the mux as a .subckt deck.
+func (m *Mux) EmitSPICE(w io.Writer, tempC float64) error {
+	g1, g2 := twoLevelSplit(m.NumInputs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "* %s: %d:1 two-level pass mux + 2-stage buffer (sized by tafpga)\n", m.name, m.NumInputs)
+	fmt.Fprintf(&b, ".param temp_c=%.1f vdd=%.2f\n", tempC, m.kit.Buf.Vdd)
+	fmt.Fprintf(&b, ".temp temp_c\n")
+	fmt.Fprintf(&b, ".subckt %s %s out vdd vss\n", sanitize(m.name), spicePins("in", m.NumInputs))
+
+	// Level 1: g2 groups of up to g1 pass transistors onto mid<j>.
+	idx := 0
+	for j := 0; j < g2; j++ {
+		for i := 0; i < g1 && idx < m.NumInputs; i++ {
+			fmt.Fprintf(&b, "MP%d mid%d sel1_%d in%d vss nmos_pass W=%su L=22n\n",
+				idx, j, i, idx, um(m.wPass))
+			idx++
+		}
+	}
+	// Level 2: one pass per group onto the mux output node.
+	for j := 0; j < g2; j++ {
+		fmt.Fprintf(&b, "MQ%d muxo sel2_%d mid%d vss nmos_pass W=%su L=22n\n",
+			j, j, j, um(m.wPass))
+	}
+	emitBufferPair(&b, "muxo", "out", m.wBuf1, m.wBuf2, m.pnSplit)
+	fmt.Fprintf(&b, "Rw out outf %.4gk\n", m.kit.Wire.R(m.effWireUm(), tempC))
+	fmt.Fprintf(&b, "Cw outf vss %.4gf\n", m.kit.Wire.C(m.effWireUm()))
+	fmt.Fprintf(&b, "Cl outf vss %.4gf\n", m.FanoutFF)
+	fmt.Fprintf(&b, ".ends %s\n", sanitize(m.name))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// EmitSPICE writes the LUT as a .subckt deck.
+func (l *LUT) EmitSPICE(w io.Writer, tempC float64) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "* %s: %d-input pass-transistor tree LUT (sized by tafpga)\n", l.name, l.K)
+	fmt.Fprintf(&b, ".param temp_c=%.1f vdd=%.2f\n", tempC, l.kit.Buf.Vdd)
+	fmt.Fprintf(&b, ".temp temp_c\n")
+	fmt.Fprintf(&b, ".subckt %s %s out vdd vss\n", sanitize(l.name), spicePins("a", l.K))
+	// Worst-case arc only: the on-path chain of K pass devices with the
+	// off-path sibling junction at every level, split by the mid buffer.
+	firstHalf := (l.K + 1) / 2
+	node := "cfg"
+	fmt.Fprintf(&b, "* configuration-cell side of the selected path\n")
+	for i := 0; i < l.K; i++ {
+		next := fmt.Sprintf("n%d", i)
+		if i == firstHalf {
+			emitBufferPair(&b, node, "midb", l.wMid, l.wMid, l.pnSplit)
+			node = "midb"
+		}
+		fmt.Fprintf(&b, "MT%d %s a%d %s vss nmos_pass W=%su L=22n\n", i, next, i, node, um(l.wPass))
+		fmt.Fprintf(&b, "MS%d %s a%d_n off%d vss nmos_pass W=%su L=22n\n", i, next, i, i, um(l.wPass))
+		fmt.Fprintf(&b, "Cp %s vss %.3gf\n", next, lutNodeExtraFF)
+		node = next
+	}
+	emitBufferPair(&b, node, "out", l.wBuf1, l.wBuf2, l.pnSplit)
+	fmt.Fprintf(&b, "Rw out outf %.4gk\n", l.kit.Wire.R(l.effWireUm(), tempC))
+	fmt.Fprintf(&b, "Cw outf vss %.4gf\n", l.kit.Wire.C(l.effWireUm()))
+	fmt.Fprintf(&b, ".ends %s\n", sanitize(l.name))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// emitBufferPair writes a two-inverter buffer with the circuit's P:N split.
+func emitBufferPair(b *strings.Builder, in, out string, w1, w2, pn float64) {
+	mid := in + "_b"
+	fmt.Fprintf(b, "MN1%s %s %s vss vss nmos W=%su L=22n\n", mid, mid, in, um(w1*(1-pn)))
+	fmt.Fprintf(b, "MP1%s %s %s vdd vdd pmos W=%su L=22n\n", mid, mid, in, um(w1*pn))
+	fmt.Fprintf(b, "MN2%s %s %s vss vss nmos W=%su L=22n\n", out, out, mid, um(w2*(1-pn)))
+	fmt.Fprintf(b, "MP2%s %s %s vdd vdd pmos W=%su L=22n\n", out, out, mid, um(w2*pn))
+}
+
+func spicePins(prefix string, n int) string {
+	pins := make([]string, n)
+	for i := range pins {
+		pins[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return strings.Join(pins, " ")
+}
+
+func um(w float64) string { return fmt.Sprintf("%.3g", w) }
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, name)
+}

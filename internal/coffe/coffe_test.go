@@ -1,0 +1,368 @@
+package coffe
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"tafpga/internal/techmodel"
+)
+
+var (
+	devOnce sync.Once
+	devs    map[float64]*Device
+)
+
+// sharedDevices sizes the three corner devices once for the whole package.
+func sharedDevices(t *testing.T) map[float64]*Device {
+	t.Helper()
+	devOnce.Do(func() {
+		kit := techmodel.Default22nm()
+		devs = map[float64]*Device{}
+		for _, c := range []float64{0, 25, 100} {
+			devs[c] = MustSizeDevice(kit, DefaultParams(), c)
+		}
+	})
+	return devs
+}
+
+func TestDefaultParamsMatchTableI(t *testing.T) {
+	p := DefaultParams()
+	if p.K != 6 || p.N != 10 || p.ChannelTracks != 320 || p.SegmentLength != 4 {
+		t.Fatalf("Table I soft parameters wrong: %+v", p)
+	}
+	if p.SBMuxSize != 12 || p.CBMuxSize != 64 || p.LocalMuxSize != 25 || p.ClusterInputs != 40 {
+		t.Fatalf("Table I mux parameters wrong: %+v", p)
+	}
+	if p.Vdd != 0.8 || p.VddLow != 0.95 {
+		t.Fatalf("Table I voltages wrong: %+v", p)
+	}
+	if p.BRAM.Words != 1024 || p.BRAM.WordBits != 32 {
+		t.Fatalf("Table I BRAM geometry wrong: %+v", p.BRAM)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidateRejects(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.K = 1 },
+		func(p *Params) { p.N = 0 },
+		func(p *Params) { p.ChannelTracks = 1 },
+		func(p *Params) { p.SegmentLength = 0 },
+		func(p *Params) { p.SBMuxSize = 1 },
+		func(p *Params) { p.ClusterInputs = 2 },
+		func(p *Params) { p.BRAM.Words = 0 },
+	}
+	for i, mod := range bad {
+		p := DefaultParams()
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSizeDeviceDeterministic(t *testing.T) {
+	kit := techmodel.Default22nm()
+	a := MustSizeDevice(kit, DefaultParams(), 25)
+	b := MustSizeDevice(kit, DefaultParams(), 25)
+	for _, k := range Kinds() {
+		va, vb := a.Vars(k), b.Vars(k)
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("%s: sizing not deterministic (var %d: %g vs %g)", k, i, va[i], vb[i])
+			}
+		}
+	}
+}
+
+func TestDelayTablesMatchExactModel(t *testing.T) {
+	d := sharedDevices(t)[25]
+	for _, k := range Kinds() {
+		for _, temp := range []float64{0, 13.7, 25, 61.2, 100} {
+			tab := d.Delay(k, temp)
+			exact := d.DelayExact(k, temp)
+			if math.Abs(tab-exact)/exact > 0.01 {
+				t.Fatalf("%s at %g°C: table %g vs exact %g", k, temp, tab, exact)
+			}
+		}
+	}
+}
+
+func TestDelayTableClampsOutOfRange(t *testing.T) {
+	d := sharedDevices(t)[25]
+	if d.Delay(SBMux, -50) != d.Delay(SBMux, -10) {
+		t.Fatal("low clamp broken")
+	}
+	if d.Delay(SBMux, 500) != d.Delay(SBMux, 120) {
+		t.Fatal("high clamp broken")
+	}
+}
+
+func TestEveryResourceSlowsWithTemperature(t *testing.T) {
+	d := sharedDevices(t)[25]
+	for _, k := range Kinds() {
+		if d.Delay(k, 100) <= d.Delay(k, 0) {
+			t.Fatalf("%s: no positive temperature sensitivity", k)
+		}
+		if d.Leak(k, 100) <= d.Leak(k, 0) {
+			t.Fatalf("%s: leakage must grow with temperature", k)
+		}
+	}
+}
+
+// TestCornerOptimality is the Fig. 2 property: every corner-sized fabric is
+// the fastest of the set when operated at its own corner.
+func TestCornerOptimality(t *testing.T) {
+	ds := sharedDevices(t)
+	for corner, own := range ds {
+		for other, dev := range ds {
+			if other == corner {
+				continue
+			}
+			if own.RepCP(corner) > dev.RepCP(corner)*1.001 {
+				t.Errorf("CP: D%.0f at %.0f°C (%.1f ps) loses to D%.0f (%.1f ps)",
+					corner, corner, own.RepCP(corner), other, dev.RepCP(corner))
+			}
+			if own.Delay(DSP, corner) > dev.Delay(DSP, corner)*1.001 {
+				t.Errorf("DSP: D%.0f at %.0f°C loses to D%.0f", corner, corner, other)
+			}
+			if own.Delay(BRAM, corner) > dev.Delay(BRAM, corner)*1.005 {
+				t.Errorf("BRAM: D%.0f at %.0f°C loses to D%.0f", corner, corner, other)
+			}
+		}
+	}
+}
+
+// TestFig3Crossover checks the paper's Fig. 3 shape: D0 beats D100 at 0 °C,
+// D100 beats D0 at 100 °C, and D25 is competitive in the middle band.
+func TestFig3Crossover(t *testing.T) {
+	ds := sharedDevices(t)
+	if adv := ds[100].RepCP(0) / ds[0].RepCP(0); adv < 1.02 {
+		t.Errorf("D0 advantage at 0°C too small: %.3f (paper 1.063)", adv)
+	}
+	if adv := ds[0].RepCP(100) / ds[100].RepCP(100); adv < 1.02 {
+		t.Errorf("D100 advantage at 100°C too small: %.3f (paper 1.090)", adv)
+	}
+	mid := ds[25].RepCP(40)
+	if mid > ds[0].RepCP(40) || mid > ds[100].RepCP(40) {
+		t.Errorf("D25 must win the mid band at 40°C")
+	}
+}
+
+func TestTableIICharacterizationShape(t *testing.T) {
+	d := sharedDevices(t)[25]
+	chars := d.CharacterizeAll()
+	if len(chars) != int(numKinds) {
+		t.Fatalf("expected %d rows, got %d", int(numKinds), len(chars))
+	}
+	byKind := map[ResourceKind]Characterization{}
+	for _, c := range chars {
+		byKind[c.Kind] = c
+		if c.DelayA <= 0 || c.DelayB <= 0 {
+			t.Errorf("%s: delay fit a=%g b=%g must be positive", c.Kind, c.DelayA, c.DelayB)
+		}
+		if c.AreaUm2 <= 0 || c.PdynUW <= 0 || c.LeakC <= 0 {
+			t.Errorf("%s: non-physical characterization", c.Kind)
+		}
+		if !c.QuadLeak && (c.LeakD < 0.005 || c.LeakD > 0.03) {
+			t.Errorf("%s: leakage exponent %g outside the paper's band", c.Kind, c.LeakD)
+		}
+	}
+	// Ordering facts from Table II: the SB mux is the largest soft mux; the
+	// LUT is the most temperature-sensitive soft resource; macros dominate
+	// area.
+	if byKind[SBMux].AreaUm2 <= byKind[OutputMux].AreaUm2 {
+		t.Error("SB mux must be larger than the output mux")
+	}
+	lutSens := byKind[LUTA].DelayB / byKind[LUTA].DelayA
+	sbSens := byKind[SBMux].DelayB / byKind[SBMux].DelayA
+	if lutSens <= sbSens {
+		t.Error("LUT must have the steeper relative delay slope")
+	}
+	if byKind[BRAM].AreaUm2 < 100*byKind[LUTA].AreaUm2 {
+		t.Error("BRAM macro must dwarf a LUT")
+	}
+	// Soft-fabric delay fits must be nearly linear.
+	for _, k := range []ResourceKind{SBMux, CBMux, LocalMux, FeedbackMux, OutputMux, LUTA} {
+		c := byKind[k]
+		if c.DelayRMS > 0.05*(c.DelayA+50*c.DelayB) {
+			t.Errorf("%s: delay fit RMS %.2f too large", k, c.DelayRMS)
+		}
+	}
+}
+
+func TestRepCPWeightsAndValue(t *testing.T) {
+	sum := 0.0
+	for _, rw := range repWeights {
+		sum += rw.weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("representative-path weights sum to %g, want 1", sum)
+	}
+	d := sharedDevices(t)[25]
+	cp := d.RepCP(25)
+	// The weighted average must lie between the fastest and slowest
+	// weighted component delays.
+	lo, hi := math.Inf(1), 0.0
+	for _, rw := range repWeights {
+		v := d.Delay(rw.kind, 25)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if cp < lo || cp > hi {
+		t.Fatalf("RepCP %g outside component range [%g, %g]", cp, lo, hi)
+	}
+}
+
+func TestExpectedRepCPBounds(t *testing.T) {
+	d := sharedDevices(t)[25]
+	e := d.ExpectedRepCP(0, 100)
+	if e <= d.RepCP(0) || e >= d.RepCP(100) {
+		t.Fatalf("E[d] = %g outside (%g, %g)", e, d.RepCP(0), d.RepCP(100))
+	}
+	if d.ExpectedRepCP(40, 40) != d.RepCP(40) {
+		t.Fatal("degenerate range must return the point delay")
+	}
+}
+
+func TestTileLeakComposition(t *testing.T) {
+	d := sharedDevices(t)[25]
+	logic := d.TileLeak(TileLogic, 25)
+	bram := d.TileLeak(TileBRAM, 25)
+	dsp := d.TileLeak(TileDSP, 25)
+	io := d.TileLeak(TileIO, 25)
+	if logic <= 0 || bram <= 0 || dsp <= 0 || io <= 0 {
+		t.Fatal("tile leakage must be positive")
+	}
+	if io >= logic {
+		t.Fatal("IO tiles must leak less than logic tiles")
+	}
+	if d.TileLeak(TileLogic, 100) <= logic {
+		t.Fatal("tile leakage must grow with temperature")
+	}
+}
+
+func TestSoftTileAreaNearPaper(t *testing.T) {
+	d := sharedDevices(t)[25]
+	a := d.SoftTileArea()
+	// Paper: ~1196 µm². Allow a generous calibration band.
+	if a < 700 || a > 2000 {
+		t.Fatalf("soft tile area %g µm² far from the paper's ~1196", a)
+	}
+}
+
+func TestFFTimingTables(t *testing.T) {
+	d := sharedDevices(t)[25]
+	if d.FFClkToQ(25) <= 0 || d.FFSetup(25) <= 0 {
+		t.Fatal("FF timing must be positive")
+	}
+	if d.FFClkToQ(100) <= d.FFClkToQ(0) {
+		t.Fatal("clk-to-Q must grow with temperature")
+	}
+}
+
+func TestSizeDeviceRejectsBadInputs(t *testing.T) {
+	kit := techmodel.Default22nm()
+	p := DefaultParams()
+	p.K = 0
+	if _, err := SizeDevice(kit, p, 25); err == nil {
+		t.Fatal("expected error for invalid params")
+	}
+	badKit := *kit
+	badKit.Wire.RPerUm0 = 0
+	if _, err := SizeDevice(&badKit, DefaultParams(), 25); err == nil {
+		t.Fatal("expected error for invalid wire model")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[ResourceKind]string{SBMux: "SBmux", LUTA: "LUTA", BRAM: "BRAM", DSP: "DSP"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if TileLogic.String() != "logic" || TileBRAM.String() != "bram" {
+		t.Fatal("tile class names broken")
+	}
+}
+
+func TestGoldenMinFindsParabolaMinimum(t *testing.T) {
+	got := goldenMin(func(x float64) float64 { return (x - 2.37) * (x - 2.37) }, 0, 10)
+	if math.Abs(got-2.37) > 0.01 {
+		t.Fatalf("goldenMin found %g, want 2.37", got)
+	}
+	// Infeasible left half: minimum at the boundary of the feasible region.
+	got = goldenMin(func(x float64) float64 {
+		if x < 3 {
+			return math.Inf(1)
+		}
+		return x
+	}, 0, 10)
+	if got < 2.9 || got > 3.3 {
+		t.Fatalf("goldenMin with infeasible region found %g, want ≈3", got)
+	}
+}
+
+func TestFitFunctions(t *testing.T) {
+	// Linear fit recovers exact coefficients on synthetic data.
+	xs := fitSamples()
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 42 + 0.5*x
+	}
+	a, b, rms := linFit(xs, ys)
+	if math.Abs(a-42) > 1e-9 || math.Abs(b-0.5) > 1e-9 || rms > 1e-9 {
+		t.Fatalf("linFit(42+0.5x) = %g + %gx (rms %g)", a, b, rms)
+	}
+
+	// Exponential fit recovers c·e^(dx).
+	for i, x := range xs {
+		ys[i] = 0.28 * math.Exp(0.014*x)
+	}
+	c, d := expFit(xs, ys)
+	if math.Abs(c-0.28) > 1e-6 || math.Abs(d-0.014) > 1e-9 {
+		t.Fatalf("expFit = %g·e^(%gx)", c, d)
+	}
+
+	// Quadratic fit matches the endpoints of c·(1+(x/t0)²).
+	for i, x := range xs {
+		ys[i] = 6.2 * (1 + (x/70)*(x/70))
+	}
+	c, t0 := quadFit(xs, ys)
+	if math.Abs(c-6.2) > 1e-9 || math.Abs(t0-70) > 1e-6 {
+		t.Fatalf("quadFit = %g·(1+(x/%g)²)", c, t0)
+	}
+
+	// Flat leakage degenerates gracefully.
+	for i := range ys {
+		ys[i] = 5
+	}
+	_, t0 = quadFit(xs, ys)
+	if !math.IsInf(t0, 1) {
+		t.Fatalf("flat quadFit should give infinite t0, got %g", t0)
+	}
+}
+
+func TestCharacterizationString(t *testing.T) {
+	d := sharedDevices(t)[25]
+	if s := d.Characterize(SBMux).String(); s == "" || !strings.Contains(s, "SBmux") {
+		t.Fatalf("bad characterization rendering: %q", s)
+	}
+	if s := d.Characterize(BRAM).String(); !strings.Contains(s, "(1+(T/") {
+		t.Fatalf("BRAM must render the quadratic leakage form: %q", s)
+	}
+}
+
+func TestExpFitPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	expFit([]float64{0, 1}, []float64{1, -1})
+}

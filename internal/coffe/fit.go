@@ -1,0 +1,135 @@
+package coffe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Characterization is the Table II view of one resource: delay fitted to
+// a + b·T, leakage fitted to c·e^(d·T) (or the BRAM's quadratic form), plus
+// area and dynamic power at the paper's reference conditions (100 MHz,
+// switching probability 1).
+type Characterization struct {
+	Kind ResourceKind
+	// AreaUm2 is layout area in µm².
+	AreaUm2 float64
+	// DelayA and DelayB give delay(T) ≈ DelayA + DelayB·T in ps (T in °C).
+	DelayA, DelayB float64
+	// DelayRMS is the root-mean-square residual of the linear fit in ps.
+	DelayRMS float64
+	// PdynUW is dynamic power in µW at 100 MHz and α = 1.
+	PdynUW float64
+	// LeakC and LeakD give P_lkg(T) ≈ LeakC·e^(LeakD·T) in µW.
+	LeakC, LeakD float64
+	// QuadLeak indicates the BRAM-style quadratic leakage fit
+	// P_lkg(T) ≈ LeakC·(1 + (T/LeakD)²) was used instead.
+	QuadLeak bool
+}
+
+// fitSamples are the temperatures used for the Table II fits.
+func fitSamples() []float64 {
+	ts := make([]float64, 0, 101)
+	for t := 0.0; t <= 100.0; t++ {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// linFit returns the least-squares a, b for y ≈ a + b·x and the RMS residual.
+func linFit(xs, ys []float64) (a, b, rms float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	b = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	a = (sy - b*sx) / n
+	var ss float64
+	for i := range xs {
+		r := ys[i] - (a + b*xs[i])
+		ss += r * r
+	}
+	return a, b, math.Sqrt(ss / n)
+}
+
+// expFit returns c, d for y ≈ c·e^(d·x) via a log-linear least-squares fit.
+func expFit(xs, ys []float64) (c, d float64) {
+	logs := make([]float64, len(ys))
+	for i, y := range ys {
+		if y <= 0 {
+			panic(fmt.Sprintf("coffe: non-positive leakage sample %g", y))
+		}
+		logs[i] = math.Log(y)
+	}
+	lc, d, _ := linFit(xs, logs)
+	return math.Exp(lc), d
+}
+
+// quadFit returns c, t0 for y ≈ c·(1 + (x/t0)²), the form Table II uses for
+// BRAM leakage, by matching the endpoints of the sweep.
+func quadFit(xs, ys []float64) (c, t0 float64) {
+	c = ys[0]
+	last := len(xs) - 1
+	ratio := ys[last]/c - 1
+	if ratio <= 0 {
+		return c, math.Inf(1)
+	}
+	return c, xs[last] / math.Sqrt(ratio)
+}
+
+// Characterize produces the Table II record for one resource kind.
+func (d *Device) Characterize(k ResourceKind) Characterization {
+	ts := fitSamples()
+	delays := make([]float64, len(ts))
+	leaks := make([]float64, len(ts))
+	for i, t := range ts {
+		delays[i] = d.Delay(k, t)
+		leaks[i] = d.Leak(k, t)
+	}
+	ch := Characterization{Kind: k, AreaUm2: d.Area(k)}
+	ch.DelayA, ch.DelayB, ch.DelayRMS = linFit(ts, delays)
+
+	// Dynamic power at 100 MHz, α = 1: ½·α·C·V²·f.
+	v := d.Kit.Buf.Vdd
+	if k == BRAM {
+		v = d.Kit.SRAM.Vdd
+	}
+	ch.PdynUW = 0.5 * d.CEff(k) * 1e-15 * v * v * 100e6 * 1e6 // fF→F, W→µW
+
+	if k == BRAM {
+		ch.QuadLeak = true
+		ch.LeakC, ch.LeakD = quadFit(ts, leaks)
+	} else {
+		ch.LeakC, ch.LeakD = expFit(ts, leaks)
+	}
+	return ch
+}
+
+// CharacterizeAll returns Table II for every resource, in table order.
+func (d *Device) CharacterizeAll() []Characterization {
+	ks := Kinds()
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	out := make([]Characterization, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, d.Characterize(k))
+	}
+	return out
+}
+
+// String renders the record in the paper's compact
+// "area | delay | pdyn | plkg" notation.
+func (c Characterization) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8.1f | %6.0f + %.2fT | %7.2f | ", c.Kind, c.AreaUm2, c.DelayA, c.DelayB, c.PdynUW)
+	if c.QuadLeak {
+		fmt.Fprintf(&b, "%.1f(1+(T/%.0f)^2)", c.LeakC, c.LeakD)
+	} else {
+		fmt.Fprintf(&b, "%.2fe^{%.4fT}", c.LeakC, c.LeakD)
+	}
+	return b.String()
+}

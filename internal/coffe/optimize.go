@@ -1,0 +1,92 @@
+// Package coffe is the automatic transistor-sizing engine of the flow,
+// playing the role COFFE plays in the paper: given the process kit, the
+// architecture parameters, and a target thermal corner, it sizes every
+// configurable circuit (routing muxes, LUT, BRAM core, DSP drive strength)
+// to minimize the area·delay product *at that corner*, then freezes the
+// result into a Device whose per-resource delay, leakage, dynamic
+// capacitance, and area can be queried at any operating temperature.
+//
+// Because transistor on-resistance, pass-gate resistance, and wire
+// resistance scale differently with temperature, the optimum sizes shift
+// with the corner; a device sized for 0 °C is therefore not the device sized
+// for 100 °C — the effect behind the paper's Figs. 2 and 3.
+package coffe
+
+import (
+	"math"
+
+	"tafpga/internal/circuits"
+)
+
+// goldenRatio section constant.
+const invPhi = 0.6180339887498949
+
+// goldenMin minimizes f on [lo, hi] by golden-section search, tolerating
+// +Inf values (infeasible sizing points). It returns the argmin.
+func goldenMin(f func(float64) float64, lo, hi float64) float64 {
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 40 && (b-a) > 1e-3*(hi-lo); i++ {
+		if fc < fd || (math.IsInf(fd, 1) && !math.IsInf(fc, 1)) {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	mid := (a + b) / 2
+	if fm := f(mid); fm <= fc && fm <= fd {
+		return mid
+	}
+	if fc < fd {
+		return c
+	}
+	return d
+}
+
+// areaExponent sets the area emphasis of the delay·areaᵉ sizing objective.
+// COFFE trades area against delay; the exponent below weights the trade
+// toward delay, matching the high-performance sizing the paper's devices
+// exhibit, while still penalizing runaway widths (whose cost also appears
+// through the area→wire-length feedback inside the circuits).
+const areaExponent = 1.0
+
+// bramAreaExponent is the area emphasis used for the BRAM core. Memory
+// compilers optimize access time under functional (sense-margin) and yield
+// constraints rather than a straight area-delay product — the cell array
+// area is fixed by capacity, so the knobs trade delay against margin. A
+// low exponent reflects that.
+const bramAreaExponent = 0.25
+
+// sizeCircuit optimizes a Sizable's widths by cyclic coordinate descent on
+// the delay·areaᵉ objective evaluated at cornerC. sweeps controls how many
+// passes over the variable vector are made; the landscape is smooth and
+// unimodal per coordinate, so a handful of sweeps converges tightly.
+func sizeCircuit(c circuits.Sizable, cornerC float64, sweeps int, areaExp float64) {
+	lo, hi := c.Bounds()
+	vars := c.Vars()
+	objective := func() float64 {
+		d := c.Delay(cornerC)
+		if math.IsInf(d, 1) || math.IsNaN(d) {
+			return math.Inf(1)
+		}
+		return math.Pow(c.Area(), areaExp) * d
+	}
+	for s := 0; s < sweeps; s++ {
+		for i := range vars {
+			vi := i
+			best := goldenMin(func(x float64) float64 {
+				vars[vi] = x
+				c.SetVars(vars)
+				return objective()
+			}, lo[vi], hi[vi])
+			vars[vi] = best
+			c.SetVars(vars)
+		}
+	}
+}

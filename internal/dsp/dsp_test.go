@@ -1,0 +1,156 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"tafpga/internal/stdcell"
+	"tafpga/internal/techmodel"
+)
+
+func TestNetlistIsTopological(t *testing.T) {
+	nl := NewMultiplier(12)
+	for i, g := range nl.Gates {
+		for _, f := range g.Fanins {
+			if f >= i {
+				t.Fatalf("gate %d reads later gate %d", i, f)
+			}
+		}
+	}
+}
+
+func TestMultiplierDepthIsLogarithmic(t *testing.T) {
+	for _, n := range []int{8, 16, 27} {
+		nl := NewMultiplier(n)
+		depth := nl.Depth()
+		// Wallace + prefix CPA: depth grows like log(n), emphatically not
+		// like the 2n of a ripple array.
+		bound := int(8*math.Log2(float64(n))) + 10
+		if depth > bound {
+			t.Fatalf("n=%d: depth %d exceeds logarithmic bound %d", n, depth, bound)
+		}
+		if depth < 5 {
+			t.Fatalf("n=%d: depth %d implausibly shallow", n, depth)
+		}
+	}
+}
+
+func TestMultiplierOutputsAndSize(t *testing.T) {
+	n := 16
+	nl := NewMultiplier(n)
+	if len(nl.Outputs) < n {
+		t.Fatalf("only %d outputs for a %d×%d multiply", len(nl.Outputs), n, n)
+	}
+	if len(nl.Gates) < n*n {
+		t.Fatalf("fewer gates (%d) than partial products (%d)", len(nl.Gates), n*n)
+	}
+	// Gate count grows roughly quadratically.
+	small := len(NewMultiplier(8).Gates)
+	if len(nl.Gates) < 3*small {
+		t.Fatalf("gate count not scaling with area: %d vs %d", len(nl.Gates), small)
+	}
+}
+
+func TestCriticalPathGrowsWithTemperature(t *testing.T) {
+	b := NewBlockWidth(techmodel.Default22nm(), 16)
+	prev := b.Delay(0)
+	for temp := 10.0; temp <= 100; temp += 10 {
+		cur := b.Delay(temp)
+		if cur <= prev {
+			t.Fatalf("DSP delay must rise with T at %g°C", temp)
+		}
+		prev = cur
+	}
+}
+
+func TestWiderBlockIsSlower(t *testing.T) {
+	kit := techmodel.Default22nm()
+	if NewBlockWidth(kit, 27).Delay(25) <= NewBlockWidth(kit, 12).Delay(25) {
+		t.Fatal("27×27 must be slower than 12×12")
+	}
+}
+
+func TestDriveScaleTradeoff(t *testing.T) {
+	kit := techmodel.Default22nm()
+	weak := NewBlockWidth(kit, 16)
+	weak.DriveScale = 0.5
+	strong := NewBlockWidth(kit, 16)
+	strong.DriveScale = 2.0
+	if strong.Delay(25) >= weak.Delay(25) {
+		t.Fatal("stronger drive should be faster at moderate scales")
+	}
+	if strong.Area() <= weak.Area() {
+		t.Fatal("stronger drive must cost area")
+	}
+	if strong.Leakage(25) <= weak.Leakage(25) {
+		t.Fatal("stronger drive must leak more")
+	}
+}
+
+func TestPNSkewMattersMoreOffBalance(t *testing.T) {
+	kit := techmodel.Default22nm()
+	b := NewBlockWidth(kit, 12)
+	bal := b.Delay(25)
+	b.PNSkew = 0.45
+	if b.Delay(25) <= bal {
+		t.Fatal("a badly skewed block must be slower at the balance temperature")
+	}
+}
+
+func TestLeakageAndPowerPositive(t *testing.T) {
+	b := NewBlockWidth(techmodel.Default22nm(), 16)
+	if b.Leakage(25) <= 0 || b.CEff() <= 0 || b.Area() <= 0 {
+		t.Fatal("non-physical block characterization")
+	}
+	if b.Leakage(100) <= b.Leakage(25) {
+		t.Fatal("leakage must grow with temperature")
+	}
+}
+
+func TestLoadsAccounting(t *testing.T) {
+	kit := techmodel.Default22nm()
+	nl := NewMultiplier(8)
+	lib := stdcell.Characterize(kit, 25)
+	ld := nl.loads(lib, 7)
+	wire := kit.Wire.C(7)
+	for i, l := range ld {
+		if l < wire-1e-9 {
+			t.Fatalf("gate %d load %g below bare wire %g", i, l, wire)
+		}
+	}
+	// Total load must exceed total pin capacitance (wires add on top).
+	totalPins := 0.0
+	for _, g := range nl.Gates {
+		for _, f := range g.Fanins {
+			if f >= 0 {
+				totalPins += lib.Cell(g.Kind).InputCapFF
+			}
+		}
+	}
+	totalLoad := 0.0
+	for _, l := range ld {
+		totalLoad += l
+	}
+	if totalLoad <= totalPins {
+		t.Fatal("loads must include wire capacitance")
+	}
+}
+
+func TestAddPanicsOnForwardReference(t *testing.T) {
+	nl := &Netlist{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	nl.add(stdcell.NAND2, 5)
+}
+
+func TestNewMultiplierPanicsOnWidthOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMultiplier(1)
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tafpga/internal/flow"
+	"tafpga/internal/guardband"
+	"tafpga/internal/route"
+
+	"tafpga/internal/bench"
+)
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	Label   string
+	GainPct float64
+	Detail  string
+}
+
+// ablationBenchmarks is the small representative set used by the ablation
+// studies (one logic-heavy, one BRAM-heavy, one DSP-heavy design).
+var ablationBenchmarks = []string{"sha", "mkPktMerge", "raygentop"}
+
+// AblationDeltaT sweeps Algorithm 1's δT margin: a tighter margin converts
+// convergence slack directly into frequency, a looser one re-creates a
+// mini worst-case guardband.
+func (c *Context) AblationDeltaT(ambientC float64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, dt := range []float64{0.25, 0.5, 1, 2, 5, 10} {
+		sum := 0.0
+		for _, name := range ablationBenchmarks {
+			im, err := c.Implementation(name)
+			if err != nil {
+				return nil, err
+			}
+			opts := guardband.DefaultOptions(ambientC)
+			opts.DeltaTC = dt
+			res, err := im.Guardband(opts)
+			if err != nil {
+				return nil, err
+			}
+			sum += res.GainPct
+		}
+		rows = append(rows, AblationRow{
+			Label:   fmt.Sprintf("deltaT=%.2fC", dt),
+			GainPct: sum / float64(len(ablationBenchmarks)),
+		})
+	}
+	return rows, nil
+}
+
+// AblationUniformT compares per-tile temperatures against the
+// single-chip-temperature assumption of prior work ([12] in the paper):
+// collapsing the map to its hottest tile forfeits the spatial headroom.
+func (c *Context) AblationUniformT(ambientC float64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, uniform := range []bool{false, true} {
+		label := "per-tile T (this work)"
+		if uniform {
+			label = "uniform worst T ([12]-style)"
+		}
+		sum := 0.0
+		for _, name := range ablationBenchmarks {
+			im, err := c.Implementation(name)
+			if err != nil {
+				return nil, err
+			}
+			opts := guardband.DefaultOptions(ambientC)
+			opts.UniformT = uniform
+			res, err := im.Guardband(opts)
+			if err != nil {
+				return nil, err
+			}
+			sum += res.GainPct
+		}
+		rows = append(rows, AblationRow{Label: label, GainPct: sum / float64(len(ablationBenchmarks))})
+	}
+	return rows, nil
+}
+
+// AblationNoLeakFeedback disables the leakage-temperature feedback loop —
+// the power-temperature positive feedback the introduction motivates.
+func (c *Context) AblationNoLeakFeedback(ambientC float64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, freeze := range []bool{false, true} {
+		label := "leakage(T) feedback on"
+		if freeze {
+			label = "leakage frozen at Tamb"
+		}
+		sum, rise := 0.0, 0.0
+		for _, name := range ablationBenchmarks {
+			im, err := c.Implementation(name)
+			if err != nil {
+				return nil, err
+			}
+			opts := guardband.DefaultOptions(ambientC)
+			opts.FreezeLeakage = freeze
+			res, err := im.Guardband(opts)
+			if err != nil {
+				return nil, err
+			}
+			sum += res.GainPct
+			rise += res.RiseC
+		}
+		n := float64(len(ablationBenchmarks))
+		rows = append(rows, AblationRow{
+			Label: label, GainPct: sum / n,
+			Detail: fmt.Sprintf("mean rise %.2fC", rise/n),
+		})
+	}
+	return rows, nil
+}
+
+// AblationPlacement compares timing-driven annealing effort levels: the
+// guardbanding gain is measured on top of whatever implementation quality
+// placement delivers.
+func (c *Context) AblationPlacement(ambientC float64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, effort := range []float64{0.1, 1.0} {
+		label := fmt.Sprintf("place effort %.1f", effort)
+		sum := 0.0
+		for _, name := range ablationBenchmarks {
+			// Fresh implementation at this effort (not cached).
+			p, err := bench.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			nl, err := bench.Generate(p.Scaled(c.Scale), bench.SeedFor(name))
+			if err != nil {
+				return nil, err
+			}
+			dev, err := c.Device(25)
+			if err != nil {
+				return nil, err
+			}
+			opts := flow.DefaultOptions()
+			opts.Seed = bench.SeedFor(name)
+			opts.PlaceEffort = effort
+			opts.ChannelTracks = c.ChannelTracks
+			opts.Router = route.DefaultOptions()
+			im, err := flow.Implement(nl, dev, opts)
+			if err != nil {
+				return nil, err
+			}
+			res, err := im.Guardband(guardband.DefaultOptions(ambientC))
+			if err != nil {
+				return nil, err
+			}
+			sum += res.GainPct
+		}
+		rows = append(rows, AblationRow{Label: label, GainPct: sum / float64(len(ablationBenchmarks))})
+	}
+	return rows, nil
+}
+
+// FormatAblation renders an ablation result set.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-32s %6.1f%%  %s\n", r.Label, r.GainPct, r.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+
+	"tafpga/internal/coffe"
+)
+
+// WriteSeriesCSV exports plotted series (Figs. 1 and 3) as one CSV: the
+// first column is the temperature axis, one column per series.
+func WriteSeriesCSV(w io.Writer, ss []Series) error {
+	if len(ss) == 0 {
+		return fmt.Errorf("experiments: no series to export")
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"T_C"}
+	for _, s := range ss {
+		header = append(header, s.Label)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range ss[0].X {
+		row := []string{fmt.Sprintf("%g", ss[0].X[i])}
+		for _, s := range ss {
+			row = append(row, fmt.Sprintf("%.4f", s.Y[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteBenchCSV exports a per-benchmark result set (Figs. 6–8).
+func WriteBenchCSV(w io.Writer, rs []BenchResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "gain_pct", "fmax_mhz", "baseline_mhz", "iterations", "rise_c", "spread_c"}); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if err := cw.Write([]string{
+			r.Name,
+			fmt.Sprintf("%.2f", r.GainPct),
+			fmt.Sprintf("%.2f", r.FmaxMHz),
+			fmt.Sprintf("%.2f", r.BaselineMHz),
+			fmt.Sprintf("%d", r.Iterations),
+			fmt.Sprintf("%.2f", r.RiseC),
+			fmt.Sprintf("%.2f", r.SpreadC),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{"average", fmt.Sprintf("%.2f", Average(rs)), "", "", "", "", ""}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig2CSV exports the Fig. 2 chunk table.
+func WriteFig2CSV(w io.Writer, rows []Fig2Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"component", "operate_C"}
+	for _, c := range Fig2Corners {
+		header = append(header, fmt.Sprintf("D%.0f", c))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		row := []string{r.Component, fmt.Sprintf("%g", r.OperateC)}
+		corners := make([]float64, 0, len(r.Normalized))
+		for c := range r.Normalized {
+			corners = append(corners, c)
+		}
+		sort.Float64s(corners)
+		for _, c := range corners {
+			row = append(row, fmt.Sprintf("%.4f", r.Normalized[c]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV exports the device characterization.
+func WriteTable2CSV(w io.Writer, chars []coffe.Characterization) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"resource", "area_um2", "delay_a_ps", "delay_b_ps_per_C", "pdyn_uw", "leak_c_uw", "leak_d"}); err != nil {
+		return err
+	}
+	for _, c := range chars {
+		if err := cw.Write([]string{
+			c.Kind.String(),
+			fmt.Sprintf("%.2f", c.AreaUm2),
+			fmt.Sprintf("%.2f", c.DelayA),
+			fmt.Sprintf("%.4f", c.DelayB),
+			fmt.Sprintf("%.3f", c.PdynUW),
+			fmt.Sprintf("%.4f", c.LeakC),
+			fmt.Sprintf("%.4f", c.LeakD),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

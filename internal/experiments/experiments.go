@@ -1,0 +1,399 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section IV): Fig. 1 (delay vs temperature), Fig. 2/3
+// (corner-optimized fabrics), Table I (architecture), Table II (device
+// characterization), Fig. 6/7 (guardbanding gains at 25 °C / 70 °C over the
+// 19-benchmark suite), and Fig. 8 (thermal-aware architecture at 70 °C),
+// plus the ablations called out in DESIGN.md. The same drivers back the
+// taexp command and the repository's benchmark harness.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tafpga/internal/bench"
+	"tafpga/internal/coffe"
+	"tafpga/internal/flow"
+	"tafpga/internal/guardband"
+	"tafpga/internal/route"
+	"tafpga/internal/techmodel"
+	"tafpga/internal/thermarch"
+)
+
+// Context carries the shared setup and caches (sized devices, implemented
+// benchmarks) across experiments.
+type Context struct {
+	Kit  *techmodel.Kit
+	Arch coffe.Params
+	Lib  *thermarch.Library
+
+	// Scale is the benchmark scale (bench.DefaultScale for the harness).
+	Scale float64
+	// ChannelTracks overrides the router's channel width (0 = Table I).
+	ChannelTracks int
+	// PlaceEffort scales the annealing budget.
+	PlaceEffort float64
+	// Benchmarks restricts the suite (nil = all 19).
+	Benchmarks []string
+
+	impls map[string]*flow.Implementation
+}
+
+// NewContext returns a context at the given benchmark scale.
+func NewContext(scale float64) *Context {
+	return &Context{
+		Kit:  techmodel.Default22nm(),
+		Arch: coffe.DefaultParams(),
+		Lib:  nil,
+		Scale: func() float64 {
+			if scale <= 0 {
+				return bench.DefaultScale
+			}
+			return scale
+		}(),
+		PlaceEffort: 1.0,
+		impls:       map[string]*flow.Implementation{},
+	}
+}
+
+// library lazily builds the corner-device cache.
+func (c *Context) library() *thermarch.Library {
+	if c.Lib == nil {
+		c.Lib = thermarch.NewLibrary(c.Kit, c.Arch)
+	}
+	return c.Lib
+}
+
+// Device returns the corner-sized device from the shared cache.
+func (c *Context) Device(cornerC float64) (*coffe.Device, error) {
+	return c.library().Device(cornerC)
+}
+
+// suite returns the benchmark names in Fig. 6 order.
+func (c *Context) suite() []string {
+	if len(c.Benchmarks) > 0 {
+		return c.Benchmarks
+	}
+	names := make([]string, 0, len(bench.VTR))
+	for _, p := range bench.VTR {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// Implementation packs/places/routes one benchmark on the D25 device,
+// caching the result (the physical implementation is device-independent
+// within one architecture, so Fig. 6/7/8 share it).
+func (c *Context) Implementation(name string) (*flow.Implementation, error) {
+	if im, ok := c.impls[name]; ok {
+		return im, nil
+	}
+	dev, err := c.Device(25)
+	if err != nil {
+		return nil, err
+	}
+	p, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	nl, err := bench.Generate(p.Scaled(c.Scale), bench.SeedFor(name))
+	if err != nil {
+		return nil, err
+	}
+	opts := flow.DefaultOptions()
+	opts.Seed = bench.SeedFor(name)
+	opts.PlaceEffort = c.PlaceEffort
+	opts.ChannelTracks = c.ChannelTracks
+	opts.PIDensity = p.PIDensity
+	opts.Router = route.DefaultOptions()
+	im, err := flow.Implement(nl, dev, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	c.impls[name] = im
+	return im, nil
+}
+
+// Series is one plotted line: Y over X.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Fig1 reproduces "Impact of temperature on the delay of FPGA resources":
+// percentage delay increase vs 0 °C for the representative CP, BRAM, and
+// DSP of the typical (25 °C-sized) device, swept 0→100 °C.
+func (c *Context) Fig1() ([]Series, error) {
+	dev, err := c.Device(25)
+	if err != nil {
+		return nil, err
+	}
+	xs := sweep(0, 100, 5)
+	mk := func(label string, at func(t float64) float64) Series {
+		base := at(0)
+		s := Series{Label: label, X: xs}
+		for _, t := range xs {
+			s.Y = append(s.Y, (at(t)/base-1)*100)
+		}
+		return s
+	}
+	return []Series{
+		mk("CP", func(t float64) float64 { return dev.RepCP(t) }),
+		mk("BRAM", func(t float64) float64 { return dev.Delay(coffe.BRAM, t) }),
+		mk("DSP", func(t float64) float64 { return dev.Delay(coffe.DSP, t) }),
+	}, nil
+}
+
+// Fig2Row is one chunk of the paper's Fig. 2: the delays of the three
+// corner-optimized devices at one operating temperature, normalized to the
+// fastest device in the chunk, for one component.
+type Fig2Row struct {
+	Component string
+	OperateC  float64
+	// Normalized delay per sizing corner, keyed by corner.
+	Normalized map[float64]float64
+}
+
+// Fig2Corners are the sizing corners of the experiment.
+var Fig2Corners = []float64{0, 25, 100}
+
+// Fig2 reproduces "Delay of differently optimized FPGA fabrics on different
+// temperatures".
+func (c *Context) Fig2() ([]Fig2Row, error) {
+	devs := map[float64]*coffe.Device{}
+	for _, corner := range Fig2Corners {
+		d, err := c.Device(corner)
+		if err != nil {
+			return nil, err
+		}
+		devs[corner] = d
+	}
+	comps := []struct {
+		name string
+		at   func(d *coffe.Device, t float64) float64
+	}{
+		{"CP", func(d *coffe.Device, t float64) float64 { return d.RepCP(t) }},
+		{"BRAM", func(d *coffe.Device, t float64) float64 { return d.Delay(coffe.BRAM, t) }},
+		{"DSP", func(d *coffe.Device, t float64) float64 { return d.Delay(coffe.DSP, t) }},
+	}
+	var rows []Fig2Row
+	for _, comp := range comps {
+		for _, op := range Fig2Corners {
+			row := Fig2Row{Component: comp.name, OperateC: op, Normalized: map[float64]float64{}}
+			best := 0.0
+			for i, corner := range Fig2Corners {
+				d := comp.at(devs[corner], op)
+				if i == 0 || d < best {
+					best = d
+				}
+			}
+			for _, corner := range Fig2Corners {
+				row.Normalized[corner] = comp.at(devs[corner], op) / best
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig3 reproduces "Comparing the temperature-delay relation of the
+// representative critical path in differently optimized FPGA fabrics":
+// absolute CP delay in ps, 0→100 °C, for D0/D25/D100.
+func (c *Context) Fig3() ([]Series, error) {
+	xs := sweep(0, 100, 5)
+	var out []Series
+	for _, corner := range Fig2Corners {
+		d, err := c.Device(corner)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Label: fmt.Sprintf("D%.0f", corner), X: xs}
+		for _, t := range xs {
+			s.Y = append(s.Y, d.RepCP(t))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Table1 renders the architecture parameters (Table I).
+func (c *Context) Table1() string {
+	p := c.Arch
+	var b strings.Builder
+	fmt.Fprintf(&b, "K                    %d\n", p.K)
+	fmt.Fprintf(&b, "N                    %d\n", p.N)
+	fmt.Fprintf(&b, "Channel tracks       %d\n", p.ChannelTracks)
+	fmt.Fprintf(&b, "Wire segment length  %d\n", p.SegmentLength)
+	fmt.Fprintf(&b, "Cluster global inputs %d\n", p.ClusterInputs)
+	fmt.Fprintf(&b, "SBmux                %d\n", p.SBMuxSize)
+	fmt.Fprintf(&b, "CBmux                %d\n", p.CBMuxSize)
+	fmt.Fprintf(&b, "localmux             %d\n", p.LocalMuxSize)
+	fmt.Fprintf(&b, "Vdd, Vlow power      %.1fV, %.2fV\n", p.Vdd, p.VddLow)
+	fmt.Fprintf(&b, "BRAM                 %dx%d bit\n", p.BRAM.Words, p.BRAM.WordBits)
+	return b.String()
+}
+
+// Table2 returns the D25 device characterization (Table II).
+func (c *Context) Table2() ([]coffe.Characterization, error) {
+	dev, err := c.Device(25)
+	if err != nil {
+		return nil, err
+	}
+	return dev.CharacterizeAll(), nil
+}
+
+// BenchResult is one bar of Fig. 6/7/8.
+type BenchResult struct {
+	Name    string
+	GainPct float64
+	// FmaxMHz and BaselineMHz detail the comparison.
+	FmaxMHz, BaselineMHz float64
+	// Iterations and RiseC record Algorithm 1 convergence behavior.
+	Iterations int
+	RiseC      float64
+	SpreadC    float64
+}
+
+// Average returns the mean gain of a result set (the paper's "average" bar).
+func Average(rs []BenchResult) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rs {
+		s += r.GainPct
+	}
+	return s / float64(len(rs))
+}
+
+// guardbandSuite runs Algorithm 1 per benchmark at one ambient temperature.
+func (c *Context) guardbandSuite(ambientC float64) ([]BenchResult, error) {
+	var out []BenchResult
+	for _, name := range c.suite() {
+		im, err := c.Implementation(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := im.Guardband(guardband.DefaultOptions(ambientC))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		out = append(out, BenchResult{
+			Name: name, GainPct: res.GainPct,
+			FmaxMHz: res.FmaxMHz, BaselineMHz: res.BaselineMHz,
+			Iterations: res.Iterations, RiseC: res.RiseC, SpreadC: res.SpreadC,
+		})
+	}
+	return out, nil
+}
+
+// Fig6 reproduces "Performance gain of thermal-aware guardbanding at
+// T_amb = 25 °C" (paper average: 36.5 %).
+func (c *Context) Fig6() ([]BenchResult, error) { return c.guardbandSuite(25) }
+
+// Fig7 reproduces the same at T_amb = 70 °C (paper average: 14 %).
+func (c *Context) Fig7() ([]BenchResult, error) { return c.guardbandSuite(70) }
+
+// Fig8 reproduces "Performance improvement of thermal-aware architecture
+// optimized for T_amb = 70 °C over the baseline (both employ thermal-aware
+// guardbanding)" — the 70 °C-sized fabric vs the typical 25 °C fabric,
+// paper average: 6.7 %.
+func (c *Context) Fig8() ([]BenchResult, error) {
+	d70, err := c.Device(70)
+	if err != nil {
+		return nil, err
+	}
+	var out []BenchResult
+	for _, name := range c.suite() {
+		im25, err := c.Implementation(name)
+		if err != nil {
+			return nil, err
+		}
+		im70, err := im25.WithDevice(d70)
+		if err != nil {
+			return nil, err
+		}
+		r25, err := im25.Guardband(guardband.DefaultOptions(70))
+		if err != nil {
+			return nil, err
+		}
+		r70, err := im70.Guardband(guardband.DefaultOptions(70))
+		if err != nil {
+			return nil, err
+		}
+		gain := 0.0
+		if r25.FmaxMHz > 0 {
+			gain = (r70.FmaxMHz/r25.FmaxMHz - 1) * 100
+		}
+		out = append(out, BenchResult{
+			Name: name, GainPct: gain,
+			FmaxMHz: r70.FmaxMHz, BaselineMHz: r25.FmaxMHz,
+			Iterations: r70.Iterations, RiseC: r70.RiseC, SpreadC: r70.SpreadC,
+		})
+	}
+	return out, nil
+}
+
+// FormatSeries renders plotted series as aligned columns.
+func FormatSeries(title string, ss []Series, yFmt string) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%8s", "T(C)")
+	for _, s := range ss {
+		fmt.Fprintf(&b, "%12s", s.Label)
+	}
+	fmt.Fprintln(&b)
+	for i := range ss[0].X {
+		fmt.Fprintf(&b, "%8.0f", ss[0].X[i])
+		for _, s := range ss {
+			fmt.Fprintf(&b, "%12s", fmt.Sprintf(yFmt, s.Y[i]))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatBench renders a Fig. 6/7/8 result set.
+func FormatBench(title string, rs []BenchResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	for _, r := range rs {
+		fmt.Fprintf(&b, "  %-18s %6.1f%%   (fmax %7.1f MHz vs %7.1f MHz, %d iters, rise %.1fC, spread %.1fC)\n",
+			r.Name, r.GainPct, r.FmaxMHz, r.BaselineMHz, r.Iterations, r.RiseC, r.SpreadC)
+	}
+	fmt.Fprintf(&b, "  %-18s %6.1f%%\n", "average", Average(rs))
+	return b.String()
+}
+
+// FormatFig2 renders the Fig. 2 chunks.
+func FormatFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig. 2: normalized delay per operating temperature (rows) and sizing corner (columns)")
+	fmt.Fprintf(&b, "%8s %8s", "comp", "T(C)")
+	for _, corner := range Fig2Corners {
+		fmt.Fprintf(&b, "%10s", fmt.Sprintf("D%.0f", corner))
+	}
+	fmt.Fprintln(&b)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8s %8.0f", r.Component, r.OperateC)
+		corners := make([]float64, 0, len(r.Normalized))
+		for corner := range r.Normalized {
+			corners = append(corners, corner)
+		}
+		sort.Float64s(corners)
+		for _, corner := range corners {
+			fmt.Fprintf(&b, "%10.3f", r.Normalized[corner])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func sweep(lo, hi, step float64) []float64 {
+	var xs []float64
+	for t := lo; t <= hi+1e-9; t += step {
+		xs = append(xs, t)
+	}
+	return xs
+}

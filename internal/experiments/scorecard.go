@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tafpga/internal/coffe"
+)
+
+// Claim is one quantitative statement from the paper together with the
+// acceptance band this reproduction holds itself to and the measured value.
+type Claim struct {
+	ID       string
+	Paper    string
+	Measured float64
+	Unit     string
+	// Lo/Hi is the acceptance band for Measured.
+	Lo, Hi float64
+	Pass   bool
+}
+
+// Scorecard evaluates the reproduction claims. Device-level claims are
+// always evaluated; the flow-level claims (Figs. 6–8) run on the context's
+// benchmark subset (set Context.Benchmarks to keep it cheap).
+func (c *Context) Scorecard() ([]Claim, error) {
+	var claims []Claim
+	add := func(id, paper string, measured float64, unit string, lo, hi float64) {
+		claims = append(claims, Claim{
+			ID: id, Paper: paper, Measured: measured, Unit: unit,
+			Lo: lo, Hi: hi, Pass: measured >= lo && measured <= hi,
+		})
+	}
+
+	// Fig. 1: component delay growth over 0→100 °C.
+	fig1, err := c.Fig1()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range fig1 {
+		final := s.Y[len(s.Y)-1]
+		switch s.Label {
+		case "CP":
+			add("fig1/CP@100C", "+47 %", final, "%", 35, 62)
+		case "DSP":
+			add("fig1/DSP@100C", "up to +84 %", final, "%", 60, 100)
+		}
+	}
+
+	// Fig. 2: diagonal corner optimality across all chunks.
+	fig2, err := c.Fig2()
+	if err != nil {
+		return nil, err
+	}
+	diag := 0.0
+	for _, r := range fig2 {
+		if v := r.Normalized[r.OperateC]; v > diag {
+			diag = v
+		}
+	}
+	add("fig2/diagonal", "matching corner fastest in every chunk", diag, "norm", 0.999, 1.01)
+
+	// Fig. 3: crossover advantages.
+	d0, err := c.Device(0)
+	if err != nil {
+		return nil, err
+	}
+	d100, err := c.Device(100)
+	if err != nil {
+		return nil, err
+	}
+	add("fig3/D0@0C", "+6.3 % over D100", (d100.RepCP(0)/d0.RepCP(0)-1)*100, "%", 2, 15)
+	add("fig3/D100@100C", "+9.0 % over D0", (d0.RepCP(100)/d100.RepCP(100)-1)*100, "%", 2, 15)
+
+	// Table II anchors.
+	d25, err := c.Device(25)
+	if err != nil {
+		return nil, err
+	}
+	dspChar := d25.Characterize(coffe.DSP)
+	add("table2/DSP-slope", "4.42/547 = 0.00808 /°C", dspChar.DelayB/dspChar.DelayA, "1/C", 0.006, 0.011)
+	add("table2/tile-area", "~1196 µm²", d25.SoftTileArea(), "um2", 900, 1600)
+
+	// Figs. 6–8 on the configured benchmark subset.
+	fig6, err := c.Fig6()
+	if err != nil {
+		return nil, err
+	}
+	add("fig6/average", "36.5 %", Average(fig6), "%", 25, 50)
+	worstIters := 0
+	worstRise := 0.0
+	for _, r := range fig6 {
+		if r.Iterations > worstIters {
+			worstIters = r.Iterations
+		}
+		if r.RiseC > worstRise {
+			worstRise = r.RiseC
+		}
+	}
+	add("alg1/iterations", "< 10", float64(worstIters), "iters", 1, 9)
+	add("alg1/rise", "≈ 2 °C", worstRise, "C", 0.2, 6)
+
+	fig7, err := c.Fig7()
+	if err != nil {
+		return nil, err
+	}
+	add("fig7/average", "14 %", Average(fig7), "%", 7, 22)
+
+	fig8, err := c.Fig8()
+	if err != nil {
+		return nil, err
+	}
+	add("fig8/average", "6.7 % (direction + positivity held)", Average(fig8), "%", 0.5, 12)
+
+	return claims, nil
+}
+
+// FormatScorecard renders the claims with PASS/FAIL verdicts.
+func FormatScorecard(claims []Claim) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-38s %12s %10s %-14s %s\n", "claim", "paper", "measured", "unit", "band", "verdict")
+	passed := 0
+	for _, cl := range claims {
+		verdict := "FAIL"
+		if cl.Pass {
+			verdict = "PASS"
+			passed++
+		}
+		fmt.Fprintf(&b, "%-18s %-38s %12.3f %10s [%g, %g]      %s\n",
+			cl.ID, cl.Paper, cl.Measured, cl.Unit, cl.Lo, cl.Hi, verdict)
+	}
+	fmt.Fprintf(&b, "%d/%d claims within band\n", passed, len(claims))
+	return b.String()
+}

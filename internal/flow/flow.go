@@ -1,0 +1,136 @@
+// Package flow orchestrates the full implementation pipeline of Fig. 5(c):
+// activity estimation, packing, grid construction, timing-driven placement,
+// PathFinder routing, and the assembly of the temperature-aware timing and
+// power models — producing an Implementation that the guardbanding
+// algorithm and the experiments operate on.
+package flow
+
+import (
+	"fmt"
+
+	"tafpga/internal/activity"
+	"tafpga/internal/arch"
+	"tafpga/internal/coffe"
+	"tafpga/internal/guardband"
+	"tafpga/internal/hotspot"
+	"tafpga/internal/netlist"
+	"tafpga/internal/pack"
+	"tafpga/internal/place"
+	"tafpga/internal/power"
+	"tafpga/internal/route"
+	"tafpga/internal/sta"
+)
+
+// Options tunes the implementation flow.
+type Options struct {
+	// Seed drives the deterministic random streams (placement).
+	Seed int64
+	// PlaceEffort scales the annealing move budget (1.0 = default).
+	PlaceEffort float64
+	// PIDensity is the primary-input transition density for activity
+	// estimation.
+	PIDensity float64
+	// Router carries the PathFinder settings.
+	Router route.Options
+	// ChannelTracks optionally overrides the architecture channel width
+	// for the routing graph (0 keeps the device's Table I value). Tests
+	// use smaller widths to keep graphs small; the device timing model is
+	// unaffected.
+	ChannelTracks int
+}
+
+// DefaultOptions returns the standard flow settings.
+func DefaultOptions() Options {
+	return Options{Seed: 1, PlaceEffort: 1.0, PIDensity: 0.12, Router: route.DefaultOptions()}
+}
+
+// Implementation bundles everything the guardbanding loop needs about one
+// placed-and-routed design on one device.
+type Implementation struct {
+	Netlist  *netlist.Netlist
+	Device   *coffe.Device
+	Grid     *arch.Grid
+	Packed   *pack.Result
+	Placed   *place.Placement
+	Routed   *route.Result
+	Activity []activity.Stats
+	Timing   *sta.Analyzer
+	Power    *power.Model
+	Thermal  *hotspot.Model
+}
+
+// Implement runs the full pipeline for a netlist on a device.
+func Implement(nl *netlist.Netlist, dev *coffe.Device, opts Options) (*Implementation, error) {
+	if nl.Sinks == nil {
+		return nil, fmt.Errorf("flow: netlist %s is not frozen", nl.Name)
+	}
+	act := activity.Estimate(nl, opts.PIDensity)
+
+	packed, err := pack.Pack(nl, dev.Arch.N, dev.Arch.ClusterInputs)
+	if err != nil {
+		return nil, fmt.Errorf("flow: pack: %w", err)
+	}
+
+	params := dev.Arch
+	if opts.ChannelTracks > 0 {
+		params.ChannelTracks = opts.ChannelTracks
+	}
+	grid, err := arch.Build(params, len(packed.Clusters), len(packed.BRAMs), len(packed.DSPs))
+	if err != nil {
+		return nil, fmt.Errorf("flow: grid: %w", err)
+	}
+
+	placed, err := place.Place(packed, grid, opts.Seed, opts.PlaceEffort)
+	if err != nil {
+		return nil, fmt.Errorf("flow: place: %w", err)
+	}
+
+	graph := BuildGraph(grid)
+	routed, err := route.Route(placed, graph, opts.Router)
+	if err != nil {
+		return nil, fmt.Errorf("flow: route: %w", err)
+	}
+
+	an := sta.New(nl, dev, placed, routed)
+	pm := power.New(dev, nl, placed, routed, act)
+	th, err := hotspot.NewModel(grid.W, grid.H, pm.BasePowerUW(25))
+	if err != nil {
+		return nil, fmt.Errorf("flow: thermal: %w", err)
+	}
+
+	return &Implementation{
+		Netlist: nl, Device: dev, Grid: grid, Packed: packed, Placed: placed,
+		Routed: routed, Activity: act, Timing: an, Power: pm, Thermal: th,
+	}, nil
+}
+
+// BuildGraph exposes RRG construction so callers can reuse a graph across
+// implementations on the same grid shape.
+func BuildGraph(grid *arch.Grid) *route.Graph { return route.BuildGraph(grid) }
+
+// Guardband runs Algorithm 1 on the implementation at the given ambient.
+func (im *Implementation) Guardband(opts guardband.Options) (*guardband.Result, error) {
+	return guardband.Run(im.Timing, im.Power, im.Thermal, opts)
+}
+
+// WithDevice re-targets the implementation onto another device of the same
+// architecture (a different thermal corner), reusing the placement and
+// routing: this is how the paper compares D25 vs D70 fabrics running the
+// same mapped application (Fig. 8).
+func (im *Implementation) WithDevice(dev *coffe.Device) (*Implementation, error) {
+	if dev.Arch != im.Device.Arch {
+		return nil, fmt.Errorf("flow: device architecture mismatch")
+	}
+	an := sta.New(im.Netlist, dev, im.Placed, im.Routed)
+	pm := power.New(dev, im.Netlist, im.Placed, im.Routed, im.Activity)
+	th, err := hotspot.NewModel(im.Grid.W, im.Grid.H, pm.BasePowerUW(25))
+	if err != nil {
+		return nil, err
+	}
+	out := *im
+	out.Device = dev
+	out.Timing = an
+	out.Power = pm
+	out.Thermal = th
+	return &out, nil
+}

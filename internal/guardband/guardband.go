@@ -1,0 +1,142 @@
+// Package guardband implements the paper's core contribution, Algorithm 1
+// (thermal-aware guardbanding): starting from the ambient temperature, it
+// iterates temperature-aware timing analysis → (frequency-, activity-, and
+// temperature-dependent) power estimation → steady-state thermal simulation
+// until the per-tile temperature map converges, then sets the clock with
+// only a small δT margin instead of the conventional worst-case-corner
+// guardband.
+package guardband
+
+import (
+	"fmt"
+
+	"tafpga/internal/coffe"
+	"tafpga/internal/hotspot"
+	"tafpga/internal/power"
+	"tafpga/internal/sta"
+)
+
+// Options tunes Algorithm 1.
+type Options struct {
+	// AmbientC is the ambient (initial junction) temperature T_amb.
+	AmbientC float64
+	// DeltaTC is the convergence threshold and final safety margin δT.
+	DeltaTC float64
+	// WorstCaseC is the conventional guardband corner T_worst for the
+	// baseline (100 °C in the paper).
+	WorstCaseC float64
+	// MaxIters bounds the convergence loop; the paper observes fewer than
+	// ten iterations.
+	MaxIters int
+	// UniformT, when set, collapses the temperature map to its hottest
+	// tile each iteration — the single-temperature assumption of prior
+	// work ([12]) that the paper argues is pessimistic. Used for ablation.
+	UniformT bool
+	// FreezeLeakage, when set, evaluates leakage at T_amb instead of the
+	// iterated temperatures, disabling the leakage-temperature feedback
+	// loop. Used for ablation.
+	FreezeLeakage bool
+}
+
+// DefaultOptions returns the paper's experimental settings.
+func DefaultOptions(ambientC float64) Options {
+	return Options{AmbientC: ambientC, DeltaTC: 0.5, WorstCaseC: 100, MaxIters: 20}
+}
+
+// Result reports one guardbanding run.
+type Result struct {
+	// FmaxMHz is the thermally-aware frequency (Algorithm 1's output).
+	FmaxMHz float64
+	// BaselineMHz is the conventional frequency assuming T_worst on every
+	// tile.
+	BaselineMHz float64
+	// GainPct is the performance improvement of thermal-aware guardbanding
+	// over the worst-case baseline, in percent.
+	GainPct float64
+	// Iterations is the number of timing/power/thermal rounds to converge.
+	Iterations int
+	// Temps is the converged per-tile temperature map.
+	Temps []float64
+	// RiseC is the mean converged rise over ambient.
+	RiseC float64
+	// SpreadC is the converged on-chip temperature variation.
+	SpreadC float64
+	// Breakdown is the critical-path composition at the converged corner.
+	Breakdown map[coffe.ResourceKind]float64
+}
+
+// Run executes Algorithm 1 on one routed implementation.
+func Run(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts Options) (*Result, error) {
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 20
+	}
+	if opts.DeltaTC <= 0 {
+		opts.DeltaTC = 0.5
+	}
+	nTiles := an.PL.Grid.NumTiles()
+
+	// Line 1-2: start from ambient everywhere.
+	temps := sta.UniformTemps(nTiles, opts.AmbientC)
+	res := &Result{}
+
+	var rep sta.Report
+	for iter := 1; iter <= opts.MaxIters; iter++ {
+		res.Iterations = iter
+		// Line 4: full-netlist timing at the current temperature map.
+		rep = an.Analyze(temps)
+		f := rep.FmaxMHz
+
+		// Line 5: dynamic power at f plus leakage at the tile temperatures.
+		leakTemps := temps
+		if opts.FreezeLeakage {
+			leakTemps = sta.UniformTemps(nTiles, opts.AmbientC)
+		}
+		p := pm.Vector(f, leakTemps)
+
+		// Line 7: thermal simulation.
+		next, err := th.Solve(p, opts.AmbientC)
+		if err != nil {
+			return nil, fmt.Errorf("guardband: %w", err)
+		}
+		if opts.UniformT {
+			next = sta.UniformTemps(nTiles, hotspot.Max(next))
+		}
+
+		// Line 3/8: convergence on the infinity norm.
+		maxDelta := 0.0
+		for i := range next {
+			d := next[i] - temps[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+		temps = next
+		if maxDelta <= opts.DeltaTC {
+			break
+		}
+	}
+
+	// Line 9: final frequency with the δT safety margin.
+	margined := make([]float64, nTiles)
+	for i := range temps {
+		margined[i] = temps[i] + opts.DeltaTC
+	}
+	final := an.Analyze(margined)
+
+	// Baseline: conventional worst-case guardband.
+	worst := an.Analyze(sta.UniformTemps(nTiles, opts.WorstCaseC))
+
+	res.FmaxMHz = final.FmaxMHz
+	res.BaselineMHz = worst.FmaxMHz
+	if worst.FmaxMHz > 0 {
+		res.GainPct = (final.FmaxMHz/worst.FmaxMHz - 1) * 100
+	}
+	res.Temps = temps
+	res.RiseC = hotspot.Mean(temps) - opts.AmbientC
+	res.SpreadC = hotspot.Spread(temps)
+	res.Breakdown = final.Breakdown
+	return res, nil
+}

@@ -1,0 +1,248 @@
+package guardband
+
+import (
+	"sync"
+	"testing"
+
+	"tafpga/internal/activity"
+	"tafpga/internal/arch"
+	"tafpga/internal/bench"
+	"tafpga/internal/coffe"
+	"tafpga/internal/hotspot"
+	"tafpga/internal/pack"
+	"tafpga/internal/place"
+	"tafpga/internal/power"
+	"tafpga/internal/route"
+	"tafpga/internal/sta"
+	"tafpga/internal/techmodel"
+)
+
+type fixture struct {
+	an *sta.Analyzer
+	pm *power.Model
+	th *hotspot.Model
+}
+
+var (
+	once sync.Once
+	fix  fixture
+)
+
+func setup(t *testing.T) fixture {
+	t.Helper()
+	once.Do(func() {
+		params := coffe.DefaultParams()
+		dev := coffe.MustSizeDevice(techmodel.Default22nm(), params, 25)
+		prof, _ := bench.ByName("raygentop")
+		nl, err := bench.Generate(prof.Scaled(1.0/32), bench.SeedFor("raygentop"))
+		if err != nil {
+			panic(err)
+		}
+		act := activity.Estimate(nl, 0.12)
+		packed, err := pack.Pack(nl, params.N, params.ClusterInputs)
+		if err != nil {
+			panic(err)
+		}
+		gp := params
+		gp.ChannelTracks = 104
+		grid, err := arch.Build(gp, len(packed.Clusters), len(packed.BRAMs), len(packed.DSPs))
+		if err != nil {
+			panic(err)
+		}
+		pl, err := place.Place(packed, grid, 4, 0.3)
+		if err != nil {
+			panic(err)
+		}
+		rt, err := route.Route(pl, route.BuildGraph(grid), route.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		an := sta.New(nl, dev, pl, rt)
+		pm := power.New(dev, nl, pl, rt, act)
+		th, err := hotspot.NewModel(grid.W, grid.H, pm.BasePowerUW(25))
+		if err != nil {
+			panic(err)
+		}
+		fix = fixture{an: an, pm: pm, th: th}
+	})
+	return fix
+}
+
+func TestAlgorithm1HeadlineBehavior(t *testing.T) {
+	f := setup(t)
+	res25, err := Run(f.an, f.pm, f.th, DefaultOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res70, err := Run(f.an, f.pm, f.th, DefaultOptions(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The paper's central result: large gains at 25 °C ambient, smaller but
+	// positive gains at 70 °C.
+	if res25.GainPct < 20 || res25.GainPct > 60 {
+		t.Errorf("gain at 25°C = %.1f%%, paper band is ~27..47%%", res25.GainPct)
+	}
+	if res70.GainPct < 5 || res70.GainPct > 30 {
+		t.Errorf("gain at 70°C = %.1f%%, paper band is ~8..20%%", res70.GainPct)
+	}
+	if res70.GainPct >= res25.GainPct {
+		t.Error("gain must shrink as ambient approaches the worst case")
+	}
+	if res25.FmaxMHz <= res25.BaselineMHz {
+		t.Error("thermal-aware clock must beat the worst-case clock")
+	}
+}
+
+func TestConvergesInFewIterations(t *testing.T) {
+	// The paper: "often takes a few (less than ten) iterations".
+	f := setup(t)
+	res, err := Run(f.an, f.pm, f.th, DefaultOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 10 {
+		t.Fatalf("converged in %d iterations, paper promises <10", res.Iterations)
+	}
+	if res.Iterations < 1 {
+		t.Fatal("must iterate at least once")
+	}
+}
+
+func TestTemperatureRiseIsModest(t *testing.T) {
+	// The paper: "due to relatively low switching rate, the temperature
+	// converged after ~2 °C increase".
+	f := setup(t)
+	res, err := Run(f.an, f.pm, f.th, DefaultOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RiseC < 0.2 || res.RiseC > 8 {
+		t.Fatalf("converged rise %.2f°C far from the paper's ~2°C", res.RiseC)
+	}
+	if res.SpreadC < 0 {
+		t.Fatal("negative spread")
+	}
+}
+
+func TestDeltaTMarginIsRealMargin(t *testing.T) {
+	f := setup(t)
+	tight := DefaultOptions(25)
+	tight.DeltaTC = 0.25
+	loose := DefaultOptions(25)
+	loose.DeltaTC = 8
+	rt, err := Run(f.an, f.pm, f.th, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Run(f.an, f.pm, f.th, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.FmaxMHz >= rt.FmaxMHz {
+		t.Fatalf("a larger δT margin must cost frequency: %g vs %g", rl.FmaxMHz, rt.FmaxMHz)
+	}
+}
+
+func TestUniformTAblationIsPessimistic(t *testing.T) {
+	f := setup(t)
+	perTile, err := Run(f.an, f.pm, f.th, DefaultOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(25)
+	opts.UniformT = true
+	uniform, err := Run(f.an, f.pm, f.th, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniform.FmaxMHz > perTile.FmaxMHz+1e-6 {
+		t.Fatalf("assuming the hottest tile everywhere cannot beat per-tile analysis: %g vs %g",
+			uniform.FmaxMHz, perTile.FmaxMHz)
+	}
+}
+
+func TestFrozenLeakageCoolsTheLoop(t *testing.T) {
+	f := setup(t)
+	live, err := Run(f.an, f.pm, f.th, DefaultOptions(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(70)
+	opts.FreezeLeakage = true
+	frozen, err := Run(f.an, f.pm, f.th, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.RiseC > live.RiseC+1e-9 {
+		t.Fatalf("disabling the leakage-temperature feedback cannot heat the die more: %g vs %g",
+			frozen.RiseC, live.RiseC)
+	}
+}
+
+func TestBreakdownPresent(t *testing.T) {
+	f := setup(t)
+	res, err := Run(f.an, f.pm, f.th, DefaultOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Breakdown) == 0 {
+		t.Fatal("missing critical-path breakdown")
+	}
+	total := 0.0
+	for _, v := range res.Breakdown {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatal("empty breakdown")
+	}
+}
+
+func TestDefaultOptionValues(t *testing.T) {
+	o := DefaultOptions(40)
+	if o.AmbientC != 40 || o.WorstCaseC != 100 || o.DeltaTC != 0.5 {
+		t.Fatalf("defaults drifted: %+v", o)
+	}
+}
+
+func TestAdaptiveProfile(t *testing.T) {
+	f := setup(t)
+	profile := []ProfilePoint{
+		{Hours: 8, AmbientC: 25},  // night
+		{Hours: 10, AmbientC: 45}, // day
+		{Hours: 6, AmbientC: 70},  // peak load
+	}
+	res, err := RunAdaptive(f.an, f.pm, f.th, profile, DefaultOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 3 {
+		t.Fatalf("expected 3 epochs, got %d", len(res.Epochs))
+	}
+	// Hotter epochs must clock lower.
+	if !(res.Epochs[0].FmaxMHz > res.Epochs[1].FmaxMHz && res.Epochs[1].FmaxMHz > res.Epochs[2].FmaxMHz) {
+		t.Fatalf("adaptive clocks not ordered by ambient: %+v", res.Epochs)
+	}
+	// Every epoch beats the worst-case baseline, so the average must too.
+	if res.AvgGainPct <= 0 {
+		t.Fatalf("time-averaged gain %.1f%% must be positive", res.AvgGainPct)
+	}
+	// The duration-weighted mean must lie between the extremes.
+	if res.TimeAvgFmaxMHz < res.Epochs[2].FmaxMHz || res.TimeAvgFmaxMHz > res.Epochs[0].FmaxMHz {
+		t.Fatal("time average outside the epoch range")
+	}
+	if res.String() == "" {
+		t.Fatal("formatting broken")
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	f := setup(t)
+	if _, err := RunAdaptive(f.an, f.pm, f.th, nil, DefaultOptions(0)); err == nil {
+		t.Fatal("expected error for an empty profile")
+	}
+	if _, err := RunAdaptive(f.an, f.pm, f.th, []ProfilePoint{{Hours: 0, AmbientC: 25}}, DefaultOptions(0)); err == nil {
+		t.Fatal("expected error for a zero-length epoch")
+	}
+}

@@ -1,0 +1,116 @@
+package hotspot
+
+import (
+	"fmt"
+)
+
+// TileHeatCapacity is the thermal capacitance of one tile plus its share of
+// package mass, in J/K. With the model's vertical resistance this yields
+// die time constants in the milliseconds — fast against ambient drift,
+// which is why the paper's steady-state analysis per operating point is
+// sound, and what the dynamic-adaptation extension integrates over.
+const TileHeatCapacity = 0.002
+
+// SolveTransient integrates the thermal network from the given initial tile
+// temperatures under a constant power vector for duration seconds, stepping
+// with dt seconds (forward Euler on the RC network; dt must resolve the
+// tile time constant). It returns the final temperature map.
+//
+// The spreader is treated quasi-statically (its mass is far larger than a
+// tile's), so the transient captures the die-level settling the paper's
+// Algorithm 1 skips by going straight to steady state.
+func (m *Model) SolveTransient(initial, powerUW []float64, ambientC, duration, dt float64) ([]float64, error) {
+	n := m.W * m.H
+	if len(initial) != n || len(powerUW) != n {
+		return nil, fmt.Errorf("hotspot: transient vector lengths (%d, %d) != %d tiles", len(initial), len(powerUW), n)
+	}
+	if dt <= 0 || duration < 0 {
+		return nil, fmt.Errorf("hotspot: invalid transient times dt=%g duration=%g", dt, duration)
+	}
+	// Stability bound for explicit Euler: dt < C/Σg.
+	gVert := 1 / m.RVertKPerW
+	gLat := 1 / m.RLatKPerW
+	if maxStep := TileHeatCapacity / (gVert + 4*gLat) * 0.9; dt > maxStep {
+		return nil, fmt.Errorf("hotspot: dt=%g exceeds the stability bound %.4g s", dt, maxStep)
+	}
+
+	totalW := 0.0
+	for _, p := range powerUW {
+		if p < 0 {
+			return nil, fmt.Errorf("hotspot: negative tile power %g", p)
+		}
+		totalW += p * 1e-6
+	}
+	tSpread := ambientC + m.RSinkKPerW*totalW
+
+	temps := make([]float64, n)
+	copy(temps, initial)
+	next := make([]float64, n)
+	steps := int(duration / dt)
+	for s := 0; s < steps; s++ {
+		for y := 0; y < m.H; y++ {
+			for x := 0; x < m.W; x++ {
+				i := y*m.W + x
+				flux := powerUW[i]*1e-6 + gVert*(tSpread-temps[i])
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx, ny := x+d[0], y+d[1]
+					if nx < 0 || ny < 0 || nx >= m.W || ny >= m.H {
+						continue
+					}
+					flux += gLat * (temps[ny*m.W+nx] - temps[i])
+				}
+				next[i] = temps[i] + dt*flux/TileHeatCapacity
+			}
+		}
+		temps, next = next, temps
+	}
+	return temps, nil
+}
+
+// SettleTime estimates how long the die takes to move (1 − 1/e) of the way
+// from the initial map to the steady state of the given power vector — the
+// thermal time constant the dynamic-adaptation extension must respect.
+func (m *Model) SettleTime(initial, powerUW []float64, ambientC float64) (float64, error) {
+	steady, err := m.Solve(powerUW, ambientC)
+	if err != nil {
+		return 0, err
+	}
+	gapStart := 0.0
+	for i := range steady {
+		d := steady[i] - initial[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > gapStart {
+			gapStart = d
+		}
+	}
+	if gapStart < 1e-9 {
+		return 0, nil
+	}
+	dt := TileHeatCapacity / (1/m.RVertKPerW + 4/m.RLatKPerW) * 0.5
+	temps := initial
+	elapsed := 0.0
+	for step := 0; step < 100000; step++ {
+		var err error
+		temps, err = m.SolveTransient(temps, powerUW, ambientC, dt*20, dt)
+		if err != nil {
+			return 0, err
+		}
+		elapsed += dt * 20
+		gap := 0.0
+		for i := range steady {
+			d := steady[i] - temps[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > gap {
+				gap = d
+			}
+		}
+		if gap <= gapStart*0.3679 {
+			return elapsed, nil
+		}
+	}
+	return 0, fmt.Errorf("hotspot: settle time did not converge")
+}

@@ -1,0 +1,122 @@
+package hotspot
+
+import (
+	"math"
+	"testing"
+)
+
+func transientModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(8, 8, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func stableDt(m *Model) float64 {
+	return TileHeatCapacity / (1/m.RVertKPerW + 4/m.RLatKPerW) * 0.5
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	m := transientModel(t)
+	p := make([]float64, 64)
+	p[27] = 20000
+	p[36] = 8000
+	steady, err := m.Solve(p, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make([]float64, 64)
+	for i := range start {
+		start[i] = 25
+	}
+	dt := stableDt(m)
+	final, err := m.SolveTransient(start, p, 25, 2000*dt, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range final {
+		if math.Abs(final[i]-steady[i]) > 0.2 {
+			t.Fatalf("tile %d: transient %.3f vs steady %.3f", i, final[i], steady[i])
+		}
+	}
+}
+
+func TestTransientMonotoneWarmup(t *testing.T) {
+	m := transientModel(t)
+	p := make([]float64, 64)
+	for i := range p {
+		p[i] = 1500
+	}
+	start := make([]float64, 64)
+	for i := range start {
+		start[i] = 25
+	}
+	dt := stableDt(m)
+	short, err := m.SolveTransient(start, p, 25, 50*dt, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := m.SolveTransient(start, p, 25, 500*dt, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range short {
+		if short[i] < start[i]-1e-9 {
+			t.Fatal("heating must not cool any tile")
+		}
+		if long[i] < short[i]-1e-9 {
+			t.Fatal("longer heating must be at least as warm")
+		}
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	m := transientModel(t)
+	good := make([]float64, 64)
+	if _, err := m.SolveTransient(good[:5], good, 25, 1, 1e-4); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := m.SolveTransient(good, good, 25, 1, -1); err == nil {
+		t.Fatal("expected dt error")
+	}
+	if _, err := m.SolveTransient(good, good, 25, 1, 10); err == nil {
+		t.Fatal("expected stability-bound error")
+	}
+}
+
+func TestSettleTimeIsMilliseconds(t *testing.T) {
+	m := transientModel(t)
+	p := make([]float64, 64)
+	for i := range p {
+		p[i] = 2000
+	}
+	start := make([]float64, 64)
+	for i := range start {
+		start[i] = 25
+	}
+	ts, err := m.SettleTime(start, p, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts <= 0 || ts > 5 {
+		t.Fatalf("die settle time %.4f s outside the plausible (0, 5 s] band", ts)
+	}
+}
+
+func TestSettleTimeAtEquilibriumIsZero(t *testing.T) {
+	m := transientModel(t)
+	p := make([]float64, 64)
+	steady, err := m.Solve(p, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := m.SettleTime(steady, p, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 0 {
+		t.Fatalf("already settled, got %.4f s", ts)
+	}
+}

@@ -1,0 +1,169 @@
+package place
+
+import (
+	"testing"
+
+	"tafpga/internal/arch"
+	"tafpga/internal/bench"
+	"tafpga/internal/coffe"
+	"tafpga/internal/netlist"
+	"tafpga/internal/pack"
+)
+
+func testSetup(t *testing.T, name string, scale float64) (*pack.Result, *arch.Grid) {
+	t.Helper()
+	p, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := bench.Generate(p.Scaled(scale), bench.SeedFor(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := pack.Pack(nl, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := arch.Build(coffe.DefaultParams(), len(packed.Clusters), len(packed.BRAMs), len(packed.DSPs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return packed, grid
+}
+
+func TestPlacementLegality(t *testing.T) {
+	packed, grid := testSetup(t, "raygentop", 1.0/32)
+	pl, err := Place(packed, grid, 1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := packed.Netlist
+	// Every block must sit on a tile of the right class; clusters share a
+	// tile only with their cluster mates.
+	tileUse := map[int]int{} // tile → cluster id (for logic tiles)
+	for i := range nl.Blocks {
+		tile := pl.TileOf[i]
+		if tile < 0 {
+			t.Fatalf("block %d unplaced", i)
+		}
+		x, y := grid.At(tile)
+		class := grid.Class(x, y)
+		switch nl.Blocks[i].Type {
+		case netlist.LUT, netlist.FF:
+			if class != coffe.TileLogic {
+				t.Fatalf("logic block %d on %s tile", i, class)
+			}
+			if prev, ok := tileUse[tile]; ok && prev != packed.ClusterOf[i] {
+				t.Fatalf("two clusters share tile %d", tile)
+			}
+			tileUse[tile] = packed.ClusterOf[i]
+		case netlist.BRAM:
+			if class != coffe.TileBRAM {
+				t.Fatalf("BRAM %d on %s tile", i, class)
+			}
+		case netlist.DSP:
+			if class != coffe.TileDSP {
+				t.Fatalf("DSP %d on %s tile", i, class)
+			}
+		case netlist.Input, netlist.Output:
+			if class != coffe.TileIO {
+				t.Fatalf("pad %d on %s tile", i, class)
+			}
+		}
+	}
+}
+
+func TestMacroTilesExclusive(t *testing.T) {
+	packed, grid := testSetup(t, "mkPktMerge", 1.0/4)
+	pl, err := Place(packed, grid, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for _, b := range packed.BRAMs {
+		tile := pl.TileOf[b]
+		if used[tile] {
+			t.Fatalf("two BRAMs on tile %d", tile)
+		}
+		used[tile] = true
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	packed, grid := testSetup(t, "sha", 1.0/64)
+	a, err := Place(packed, grid, 42, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(packed, grid, 42, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.TileOf {
+		if a.TileOf[i] != b.TileOf[i] {
+			t.Fatalf("placement not deterministic at block %d", i)
+		}
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("cost not deterministic: %g vs %g", a.Cost, b.Cost)
+	}
+}
+
+func TestAnnealingImprovesOnInitial(t *testing.T) {
+	packed, grid := testSetup(t, "sha", 1.0/32)
+	// Near-zero effort approximates the round-robin initial placement.
+	rough, err := Place(packed, grid, 5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Place(packed, grid, 5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Cost > rough.Cost*1.02 {
+		t.Fatalf("more annealing effort must not hurt: %.1f vs %.1f", good.Cost, rough.Cost)
+	}
+}
+
+func TestPlaceFailsWhenOvercommitted(t *testing.T) {
+	packed, _ := testSetup(t, "sha", 1.0/8)
+	// A grid built for almost nothing cannot host the design.
+	tiny, err := arch.Build(coffe.DefaultParams(), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(packed, tiny, 1, 0.1); err == nil {
+		t.Fatal("expected capacity error")
+	}
+}
+
+func TestQFactorMonotone(t *testing.T) {
+	prev := 0.0
+	for f := 1; f < 40; f++ {
+		q := qFactor(f)
+		if q < prev {
+			t.Fatalf("q factor must be non-decreasing, broke at fanout %d", f)
+		}
+		prev = q
+	}
+}
+
+func TestNetCriticalityBounds(t *testing.T) {
+	packed, _ := testSetup(t, "sha", 1.0/64)
+	crit := netCriticality(packed.Netlist)
+	for i, c := range crit {
+		if c < 0 || c > 1 {
+			t.Fatalf("criticality %g out of [0,1] at block %d", c, i)
+		}
+	}
+	// At least one net must be fully critical.
+	max := 0.0
+	for _, c := range crit {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 0.99 {
+		t.Fatalf("no critical net found (max %g)", max)
+	}
+}

@@ -1,0 +1,263 @@
+package route
+
+import (
+	"testing"
+
+	"tafpga/internal/arch"
+	"tafpga/internal/bench"
+	"tafpga/internal/coffe"
+	"tafpga/internal/pack"
+	"tafpga/internal/place"
+)
+
+// testParams slims the channel for fast graphs.
+func testParams() coffe.Params {
+	p := coffe.DefaultParams()
+	p.ChannelTracks = 104
+	return p
+}
+
+func routed(t *testing.T, name string, scale float64) (*Result, *place.Placement) {
+	t.Helper()
+	prof, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := bench.Generate(prof.Scaled(scale), bench.SeedFor(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := pack.Pack(nl, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := arch.Build(testParams(), len(packed.Clusters), len(packed.BRAMs), len(packed.DSPs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(packed, grid, bench.SeedFor(name), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildGraph(grid)
+	res, err := Route(pl, g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, pl
+}
+
+func TestGraphShape(t *testing.T) {
+	grid, err := arch.Build(testParams(), 20, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildGraph(grid)
+	if g.NumWires() == 0 {
+		t.Fatal("no wires")
+	}
+	if g.NumNodes() != g.NumWires()+grid.NumTiles() {
+		t.Fatal("node count must be wires + one IPIN per tile")
+	}
+	// Every tile must be reachable: it has overlapping wires and at least
+	// one source wire.
+	for tile := 0; tile < grid.NumTiles(); tile++ {
+		if len(g.wiresAt[tile]) == 0 {
+			t.Fatalf("tile %d sees no wires", tile)
+		}
+		if len(g.sourceWires(tile)) == 0 {
+			t.Fatalf("tile %d cannot source nets", tile)
+		}
+	}
+}
+
+func TestGraphEdgesAreValidNodes(t *testing.T) {
+	grid, _ := arch.Build(testParams(), 12, 1, 1)
+	g := BuildGraph(grid)
+	for n := 0; n < g.numNodes; n++ {
+		for _, nb := range g.adjList[g.adjStart[n]:g.adjStart[n+1]] {
+			if int(nb) < 0 || int(nb) >= g.numNodes {
+				t.Fatalf("edge to invalid node %d", nb)
+			}
+		}
+	}
+	// IPINs are sinks: no outgoing edges.
+	for tile := 0; tile < grid.NumTiles(); tile++ {
+		ip := g.ipinNode(tile)
+		if g.adjStart[ip] != g.adjStart[ip+1] {
+			t.Fatalf("IPIN %d has outgoing edges", ip)
+		}
+	}
+}
+
+func TestRouteCompletesAllNets(t *testing.T) {
+	res, pl := routed(t, "sha", 1.0/32)
+	nl := pl.Packed.Netlist
+	for d := range nl.Blocks {
+		if len(nl.Sinks[d]) == 0 || pl.TileOf[d] < 0 {
+			continue
+		}
+		needsRoute := false
+		for _, s := range nl.Sinks[d] {
+			if pl.TileOf[s] >= 0 && pl.TileOf[s] != pl.TileOf[d] {
+				needsRoute = true
+			}
+		}
+		if !needsRoute {
+			continue
+		}
+		nr, ok := res.Nets[d]
+		if !ok {
+			t.Fatalf("net %d not routed", d)
+		}
+		for _, s := range nl.Sinks[d] {
+			if pl.TileOf[s] >= 0 && pl.TileOf[s] != pl.TileOf[d] {
+				if _, ok := nr.Paths[s]; !ok {
+					t.Fatalf("net %d missing path to sink %d", d, s)
+				}
+			}
+		}
+	}
+}
+
+func TestRoutePathsWellFormed(t *testing.T) {
+	res, pl := routed(t, "raygentop", 1.0/32)
+	grid := pl.Grid
+	for d, nr := range res.Nets {
+		if nr.WireLenTiles <= 0 {
+			t.Fatalf("net %d has no wire length", d)
+		}
+		for s, hops := range nr.Paths {
+			if len(hops) < 2 {
+				t.Fatalf("net %d→%d: path too short", d, s)
+			}
+			last := hops[len(hops)-1]
+			if last.Kind != coffe.CBMux {
+				t.Fatalf("net %d→%d: path must end in a CB mux, got %s", d, s, last.Kind)
+			}
+			if last.Tile != pl.TileOf[s] {
+				t.Fatalf("net %d→%d: CB mux at tile %d, sink at %d", d, s, last.Tile, pl.TileOf[s])
+			}
+			for _, h := range hops[:len(hops)-1] {
+				if h.Kind != coffe.SBMux {
+					t.Fatalf("net %d→%d: interior hop %s", d, s, h.Kind)
+				}
+				if h.Tile < 0 || h.Tile >= grid.NumTiles() {
+					t.Fatalf("net %d→%d: hop tile %d out of range", d, s, h.Tile)
+				}
+			}
+			// The first wire is driven from the source tile's switch block.
+			if hops[0].Tile != pl.TileOf[d] {
+				t.Fatalf("net %d: first hop at tile %d, driver at %d", d, hops[0].Tile, pl.TileOf[d])
+			}
+		}
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	a, _ := routed(t, "sha", 1.0/64)
+	b, _ := routed(t, "sha", 1.0/64)
+	if len(a.Nets) != len(b.Nets) {
+		t.Fatal("net count differs between runs")
+	}
+	for d, na := range a.Nets {
+		nb := b.Nets[d]
+		if nb == nil || na.WireLenTiles != nb.WireLenTiles {
+			t.Fatalf("net %d differs between runs", d)
+		}
+		for s, pa := range na.Paths {
+			pb := nb.Paths[s]
+			if len(pa) != len(pb) {
+				t.Fatalf("net %d→%d: path lengths differ", d, s)
+			}
+			for i := range pa {
+				if pa[i] != pb[i] {
+					t.Fatalf("net %d→%d: hop %d differs", d, s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCBSamplingDensity(t *testing.T) {
+	const w, cb = 320, 64
+	hits := 0
+	for tLoop := 0; tLoop < w; tLoop++ {
+		if cbSampled(tLoop, 5, 9, w, cb) {
+			hits++
+		}
+	}
+	// Expected density cb/w = 20 %; the per-tile hash should not be wildly
+	// off (binomial bounds).
+	if hits < w*cb/w/3 || hits > 3*cb {
+		t.Fatalf("CB sampling density off: %d of %d", hits, w)
+	}
+}
+
+func TestWireEntryTileGeometry(t *testing.T) {
+	grid, _ := arch.Build(testParams(), 12, 1, 1)
+	g := BuildGraph(grid)
+	// For a perpendicular pair, the entry tile is the span intersection.
+	for wi := 0; wi < g.numWires && wi < 500; wi++ {
+		for _, nb := range g.adjList[g.adjStart[wi]:g.adjStart[wi+1]] {
+			if int(nb) >= g.numWires || g.dirH[nb] == g.dirH[wi] {
+				continue
+			}
+			tile := g.wireEntryTile(wi, -1, int(nb))
+			x, y := grid.At(tile)
+			// The junction must lie on both wires' footprints.
+			onFrom := false
+			for s := int(g.lo[wi]); s <= int(g.hi[wi]); s++ {
+				fx, fy := s, int(g.cross[wi])
+				if !g.dirH[wi] {
+					fx, fy = int(g.cross[wi]), s
+				}
+				if fx == x && fy == y {
+					onFrom = true
+				}
+			}
+			if !onFrom {
+				t.Fatalf("entry tile (%d,%d) not on source wire %d", x, y, wi)
+			}
+		}
+	}
+}
+
+func TestCongestionNegotiation(t *testing.T) {
+	// A deliberately starved channel forces PathFinder to negotiate: the
+	// route must still complete, and must take more than one iteration.
+	prof, err := bench.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := bench.Generate(prof.Scaled(1.0/16), bench.SeedFor("sha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := pack.Pack(nl, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := coffe.DefaultParams()
+	p.ChannelTracks = 40 // starved
+	grid, err := arch.Build(p, len(packed.Clusters), len(packed.BRAMs), len(packed.DSPs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(packed, grid, 9, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.MaxIters = 30
+	res, err := Route(pl, BuildGraph(grid), opts)
+	if err != nil {
+		t.Skipf("channel width 40 genuinely unroutable for this design: %v", err)
+	}
+	if res.Iters < 2 {
+		t.Fatalf("expected congestion negotiation, finished in %d iteration(s)", res.Iters)
+	}
+	if res.MaxOcc > 1+int(grid.Params.ClusterInputs) {
+		t.Fatalf("implausible occupancy %d", res.MaxOcc)
+	}
+}

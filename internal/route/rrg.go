@@ -1,0 +1,299 @@
+// Package route builds the routing-resource graph of the island-style
+// fabric (length-L segments, subset-pattern switch blocks, Fc-sampled
+// connection blocks) and routes the placed design over it with a
+// PathFinder negotiated-congestion router — the role VPR's router plays in
+// the paper's flow. The resulting per-sink hop lists carry the tile of
+// every switch-block and connection-block multiplexer on the path, which is
+// exactly what temperature-aware timing analysis needs: each hop's delay is
+// evaluated at its own tile's temperature.
+package route
+
+import (
+	"fmt"
+
+	"tafpga/internal/arch"
+	"tafpga/internal/coffe"
+)
+
+// Graph is the routing-resource graph for one grid.
+type Graph struct {
+	Grid *arch.Grid
+
+	// Wire geometry, struct-of-arrays. Wire w occupies channel `cross`
+	// (row index for horizontal wires, column for vertical), spanning
+	// tiles [lo, hi] along its direction, on the given track.
+	dirH  []bool
+	cross []int16
+	lo    []int16
+	hi    []int16
+	track []int16
+
+	numWires int
+	numNodes int // wires + one IPIN node per tile
+
+	adjStart []int32
+	adjList  []int32
+
+	// capacity per node (1 for wires, cluster-input bound for IPINs).
+	capacity []int16
+
+	// wiresAt[tile] lists wires overlapping the tile, for source fan-out
+	// and geometric queries.
+	wiresAt [][]int32
+}
+
+// ipinNode returns the node index of a tile's connection-block input.
+func (g *Graph) ipinNode(tile int) int { return g.numWires + tile }
+
+// NumNodes returns the node count (for tests and sizing).
+func (g *Graph) NumNodes() int { return g.numNodes }
+
+// NumWires returns the wire-segment count.
+func (g *Graph) NumWires() int { return g.numWires }
+
+// cbSampled reports whether track t is among the tracks the connection
+// block of tile (x, y) can select — a deterministic pseudo-random Fc
+// pattern with density CBMuxSize/W, mirroring VPR's Fc_in sampling.
+func cbSampled(t, x, y, w, cbSize int) bool {
+	h := uint32(t*2654435761) ^ uint32(x*40503) ^ uint32(y*9973)
+	h ^= h >> 13
+	h *= 2654435761
+	h ^= h >> 16
+	return int(h%uint32(w)) < cbSize
+}
+
+// opinSampled reports whether a driver in tile (x, y) can enter track t —
+// the Fc_out pattern.
+func opinSampled(t, x, y, w int) bool {
+	h := uint32(t*40503) ^ uint32(x*2654435761) ^ uint32(y*69069)
+	h ^= h >> 11
+	h *= 40503
+	h ^= h >> 15
+	// Fc_out ≈ 0.25: every tile must be able to source all of its cluster
+	// outputs (or all of its IO pads) on distinct first wires, so the
+	// sampling cannot be too sparse.
+	return int(h%uint32(w)) < (w+3)/4
+}
+
+// BuildGraph constructs the RRG for the grid using the architecture's
+// channel width and segment length.
+func BuildGraph(grid *arch.Grid) *Graph {
+	p := grid.Params
+	w := p.ChannelTracks
+	segLen := p.SegmentLength
+
+	g := &Graph{Grid: grid}
+
+	// Enumerate wires: per direction, per channel, per track, tiled spans
+	// with a track-dependent stagger so switch points are distributed.
+	addWire := func(dirH bool, cross, lo, hi, track int) {
+		g.dirH = append(g.dirH, dirH)
+		g.cross = append(g.cross, int16(cross))
+		g.lo = append(g.lo, int16(lo))
+		g.hi = append(g.hi, int16(hi))
+		g.track = append(g.track, int16(track))
+	}
+	span := grid.W // square grid; spans run 0..W-1
+	for _, dirH := range []bool{true, false} {
+		for cross := 0; cross < span; cross++ {
+			for t := 0; t < w; t++ {
+				start := -(t % segLen)
+				for s := start; s < span; s += segLen {
+					lo, hi := s, s+segLen-1
+					if lo < 0 {
+						lo = 0
+					}
+					if hi > span-1 {
+						hi = span - 1
+					}
+					if lo > hi {
+						continue
+					}
+					addWire(dirH, cross, lo, hi, t)
+				}
+			}
+		}
+	}
+	g.numWires = len(g.dirH)
+	g.numNodes = g.numWires + grid.NumTiles()
+
+	// Geometric index: wires overlapping each tile.
+	g.wiresAt = make([][]int32, grid.NumTiles())
+	for wi := 0; wi < g.numWires; wi++ {
+		for s := int(g.lo[wi]); s <= int(g.hi[wi]); s++ {
+			var x, y int
+			if g.dirH[wi] {
+				x, y = s, int(g.cross[wi])
+			} else {
+				x, y = int(g.cross[wi]), s
+			}
+			idx := grid.Index(x, y)
+			g.wiresAt[idx] = append(g.wiresAt[idx], int32(wi))
+		}
+	}
+
+	// Wire lookup by (dir, cross, track) for fast end-point connectivity:
+	// wires of one (dir, cross, track) are consecutive by construction.
+	type key struct {
+		dirH  bool
+		cross int16
+		track int16
+	}
+	byTrack := map[key][]int32{}
+	for wi := 0; wi < g.numWires; wi++ {
+		k := key{g.dirH[wi], g.cross[wi], g.track[wi]}
+		byTrack[k] = append(byTrack[k], int32(wi))
+	}
+
+	// Build adjacency.
+	adj := make([][]int32, g.numNodes)
+	addEdge := func(from int, to int32) { adj[from] = append(adj[from], to) }
+
+	for wi := 0; wi < g.numWires; wi++ {
+		t := int(g.track[wi])
+		// Continuation: next/previous wire on the same track.
+		for _, cand := range byTrack[key{g.dirH[wi], g.cross[wi], g.track[wi]}] {
+			if int(g.lo[cand]) == int(g.hi[wi])+1 || int(g.hi[cand]) == int(g.lo[wi])-1 {
+				addEdge(wi, cand)
+			}
+		}
+		// Perpendicular switch-block connections at both wire ends, subset
+		// pattern: tracks t−1, t, t+1 (wrapped).
+		for _, end := range []int{int(g.lo[wi]), int(g.hi[wi])} {
+			var col, row int
+			if g.dirH[wi] {
+				col, row = end, int(g.cross[wi])
+			} else {
+				col, row = int(g.cross[wi]), end
+			}
+			perpCross := col // for V wires we need the column = end position
+			perpAt := row
+			if !g.dirH[wi] {
+				perpCross = row
+				perpAt = col
+			}
+			for dt := -1; dt <= 1; dt++ {
+				tt := ((t+dt)%w + w) % w
+				for _, cand := range byTrack[key{!g.dirH[wi], int16(perpCross), int16(tt)}] {
+					if int(g.lo[cand]) <= perpAt && perpAt <= int(g.hi[cand]) {
+						addEdge(wi, cand)
+					}
+				}
+			}
+		}
+		// Connection-block taps into the tiles along the span.
+		for s := int(g.lo[wi]); s <= int(g.hi[wi]); s++ {
+			var x, y int
+			if g.dirH[wi] {
+				x, y = s, int(g.cross[wi])
+			} else {
+				x, y = int(g.cross[wi]), s
+			}
+			if cbSampled(t, x, y, w, p.CBMuxSize) {
+				addEdge(wi, int32(g.ipinNode(grid.Index(x, y))))
+			}
+		}
+	}
+
+	// Flatten adjacency.
+	g.adjStart = make([]int32, g.numNodes+1)
+	total := 0
+	for i, a := range adj {
+		g.adjStart[i] = int32(total)
+		total += len(a)
+	}
+	g.adjStart[g.numNodes] = int32(total)
+	g.adjList = make([]int32, 0, total)
+	for _, a := range adj {
+		g.adjList = append(g.adjList, a...)
+	}
+
+	// Capacities.
+	g.capacity = make([]int16, g.numNodes)
+	for i := 0; i < g.numWires; i++ {
+		g.capacity[i] = 1
+	}
+	for tile := 0; tile < grid.NumTiles(); tile++ {
+		capIn := p.ClusterInputs
+		switch grid.ClassAt(tile) {
+		case coffe.TileBRAM, coffe.TileDSP:
+			capIn = 16
+		case coffe.TileIO:
+			capIn = 2 * ioPinsPerTile
+		}
+		g.capacity[g.ipinNode(tile)] = int16(capIn)
+	}
+	return g
+}
+
+// ioPinsPerTile mirrors the placer's IO pad capacity.
+const ioPinsPerTile = 8
+
+// sourceWires returns the wires a driver placed in the tile can enter
+// through its output pins (Fc_out sampling over the tile's channels).
+func (g *Graph) sourceWires(tile int) []int32 {
+	x, y := g.Grid.At(tile)
+	w := g.Grid.Params.ChannelTracks
+	var out []int32
+	for _, wi := range g.wiresAt[tile] {
+		if opinSampled(int(g.track[wi]), x, y, w) {
+			out = append(out, wi)
+		}
+	}
+	if len(out) == 0 {
+		// Degenerate sampling (tiny channel widths in tests): fall back to
+		// every overlapping wire so the net stays routable.
+		out = append(out, g.wiresAt[tile]...)
+	}
+	return out
+}
+
+// wireEntryTile returns the tile holding the switch-block mux that drives
+// wire `to` when entered from `from` (a wire index, or -1 for a source at
+// tile srcTile): the geometric meeting point of the two spans.
+func (g *Graph) wireEntryTile(from int, srcTile int, to int) int {
+	if from < 0 {
+		return srcTile
+	}
+	// Meeting point of two wires: intersection of their footprints.
+	if g.dirH[from] == g.dirH[to] {
+		// Continuation: the junction is at the shared boundary end.
+		if int(g.lo[to]) == int(g.hi[from])+1 {
+			return g.tileAt(to, int(g.lo[to]))
+		}
+		return g.tileAt(to, int(g.hi[to]))
+	}
+	// Perpendicular: H wire at row r spanning columns, V wire at column c
+	// spanning rows; junction = (c, r).
+	var x, y int
+	if g.dirH[from] {
+		y = int(g.cross[from])
+		x = int(g.cross[to])
+	} else {
+		x = int(g.cross[from])
+		y = int(g.cross[to])
+	}
+	return g.Grid.Index(x, y)
+}
+
+// tileAt returns the tile of wire w at position s along its span.
+func (g *Graph) tileAt(w int, s int) int {
+	if g.dirH[w] {
+		return g.Grid.Index(s, int(g.cross[w]))
+	}
+	return g.Grid.Index(int(g.cross[w]), s)
+}
+
+// midpoint returns the wire's central tile coordinates, for A* heuristics.
+func (g *Graph) midpoint(w int) (x, y int) {
+	mid := (int(g.lo[w]) + int(g.hi[w])) / 2
+	if g.dirH[w] {
+		return mid, int(g.cross[w])
+	}
+	return int(g.cross[w]), mid
+}
+
+// String summarizes graph size.
+func (g *Graph) String() string {
+	return fmt.Sprintf("rrg: %d wires, %d nodes, %d edges", g.numWires, g.numNodes, len(g.adjList))
+}

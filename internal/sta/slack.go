@@ -1,0 +1,193 @@
+package sta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tafpga/internal/netlist"
+)
+
+// SlackReport carries per-block slack data from one required/arrival pass.
+type SlackReport struct {
+	// PeriodPs is the constraint the slacks are measured against.
+	PeriodPs float64
+	// ArrivalPs and RequiredPs are indexed by block ID; sources and
+	// endpoints included. Entries for blocks without timing arcs are zero.
+	ArrivalPs, RequiredPs []float64
+	// Criticality is 1 − slack/period, clamped to [0, 1].
+	Criticality []float64
+}
+
+// Slacks runs the full forward/backward pass at the given temperature map
+// and returns per-block slack against the design's own critical period.
+func (a *Analyzer) Slacks(temps []float64) SlackReport {
+	nl := a.NL
+	rep := a.Analyze(temps)
+
+	arrival := make([]float64, len(nl.Blocks))
+	for i := range nl.Blocks {
+		switch nl.Blocks[i].Type {
+		case netlist.Input, netlist.FF, netlist.BRAM, netlist.DSP:
+			arrival[i] = a.sourceLaunch(i, temps)
+		}
+	}
+	for _, id := range a.order {
+		b := &nl.Blocks[id]
+		in := 0.0
+		for _, src := range b.Inputs {
+			if t := arrival[src] + a.netDelay(src, id, temps, nil); t > in {
+				in = t
+			}
+		}
+		if b.Type == netlist.LUT {
+			arrival[id] = in + a.Dev.Delay(lutKind, temps[a.PL.TileOf[id]])
+		} else {
+			arrival[id] = in
+		}
+	}
+
+	required := make([]float64, len(nl.Blocks))
+	for i := range required {
+		required[i] = rep.PeriodPs
+	}
+	// Endpoint requirements: arrivals into sequential elements must meet
+	// period − setup.
+	for i := range nl.Blocks {
+		b := &nl.Blocks[i]
+		switch b.Type {
+		case netlist.FF, netlist.BRAM, netlist.DSP:
+			req := rep.PeriodPs - a.Dev.FFSetup(temps[a.PL.TileOf[i]])
+			for _, src := range b.Inputs {
+				if r := req - a.netDelay(src, i, temps, nil); r < required[src] {
+					required[src] = r
+				}
+			}
+		}
+	}
+	// Backward sweep over the combinational order.
+	for i := len(a.order) - 1; i >= 0; i-- {
+		id := a.order[i]
+		b := &nl.Blocks[id]
+		req := required[id]
+		if b.Type == netlist.LUT {
+			req -= a.Dev.Delay(lutKind, temps[a.PL.TileOf[id]])
+		}
+		for _, src := range b.Inputs {
+			if r := req - a.netDelay(src, id, temps, nil); r < required[src] {
+				required[src] = r
+			}
+		}
+	}
+
+	crit := make([]float64, len(nl.Blocks))
+	for i := range crit {
+		if rep.PeriodPs <= 0 {
+			continue
+		}
+		slack := required[i] - arrival[i]
+		c := 1 - slack/rep.PeriodPs
+		if c < 0 {
+			c = 0
+		}
+		if c > 1 {
+			c = 1
+		}
+		crit[i] = c
+	}
+	return SlackReport{
+		PeriodPs: rep.PeriodPs, ArrivalPs: arrival, RequiredPs: required,
+		Criticality: crit,
+	}
+}
+
+// PathEntry is one endpoint in a TopPaths report.
+type PathEntry struct {
+	// Endpoint is the capturing block ID.
+	Endpoint int
+	// Name is its netlist name.
+	Name string
+	// ArrivalPs is the data arrival at the endpoint (including setup for
+	// sequential endpoints).
+	ArrivalPs float64
+	// SlackPs is measured against the critical period.
+	SlackPs float64
+}
+
+// TopPaths returns the k worst endpoints at the given temperatures, sorted
+// by arrival (worst first) — the "report_timing" view of the design.
+func (a *Analyzer) TopPaths(temps []float64, k int) []PathEntry {
+	nl := a.NL
+	rep := a.Analyze(temps)
+
+	arrival := make([]float64, len(nl.Blocks))
+	for i := range nl.Blocks {
+		switch nl.Blocks[i].Type {
+		case netlist.Input, netlist.FF, netlist.BRAM, netlist.DSP:
+			arrival[i] = a.sourceLaunch(i, temps)
+		}
+	}
+	for _, id := range a.order {
+		b := &nl.Blocks[id]
+		in := 0.0
+		for _, src := range b.Inputs {
+			if t := arrival[src] + a.netDelay(src, id, temps, nil); t > in {
+				in = t
+			}
+		}
+		if b.Type == netlist.LUT {
+			arrival[id] = in + a.Dev.Delay(lutKind, temps[a.PL.TileOf[id]])
+		} else {
+			arrival[id] = in
+		}
+	}
+
+	var entries []PathEntry
+	for i := range nl.Blocks {
+		b := &nl.Blocks[i]
+		var at float64
+		switch b.Type {
+		case netlist.Output:
+			if len(b.Inputs) == 0 {
+				continue
+			}
+			at = arrival[i]
+		case netlist.FF, netlist.BRAM, netlist.DSP:
+			if len(b.Inputs) == 0 {
+				continue
+			}
+			worst := 0.0
+			for _, src := range b.Inputs {
+				if t := arrival[src] + a.netDelay(src, i, temps, nil); t > worst {
+					worst = t
+				}
+			}
+			at = worst + a.Dev.FFSetup(temps[a.PL.TileOf[i]])
+		default:
+			continue
+		}
+		entries = append(entries, PathEntry{
+			Endpoint: i, Name: b.Name, ArrivalPs: at, SlackPs: rep.PeriodPs - at,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].ArrivalPs != entries[j].ArrivalPs {
+			return entries[i].ArrivalPs > entries[j].ArrivalPs
+		}
+		return entries[i].Endpoint < entries[j].Endpoint
+	})
+	if k > 0 && len(entries) > k {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+// FormatPaths renders a TopPaths report.
+func FormatPaths(entries []PathEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %12s\n", "endpoint", "arrival(ps)", "slack(ps)")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%-24s %12.1f %12.1f\n", e.Name, e.ArrivalPs, e.SlackPs)
+	}
+	return b.String()
+}

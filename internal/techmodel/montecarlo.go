@@ -1,0 +1,112 @@
+package techmodel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// VthSigmaRef is the standard deviation of random threshold-voltage
+// variation for an SRAM device of reference width VthSigmaRefWidth, in
+// volts. Random dopant fluctuation at 22 nm puts σVth in the 30–50 mV range
+// for near-minimum devices.
+const VthSigmaRef = 0.100
+
+// VthSigmaRefWidth is the device width in µm at which VthSigmaRef applies.
+const VthSigmaRefWidth = 0.15
+
+// VthSigmaFor returns the Pelgrom-scaled σVth for a device of the given
+// width: σ ∝ 1/√(W·L). Upsizing a cell therefore reduces its variability —
+// this is why sizing for a hot corner (where weak-cell leakage threatens the
+// sense margin) buys margin with wider cells.
+func VthSigmaFor(width float64) float64 {
+	return VthSigmaRef * math.Sqrt(VthSigmaRefWidth/width)
+}
+
+// WeakestCellLeak runs a Monte-Carlo over per-cell Vth variation and returns
+// the leakage power in µW of the weakest (leakiest) SRAM cell among `cells`
+// samples at temperature tempC, following the methodology the paper cites
+// ([29]: BRAM optimization needs the leakage current of the weakest SRAM
+// cell at the target temperature). width is the cell pull-down width in µm.
+func WeakestCellLeak(f *Flavor, width, tempC float64, cells int, rng *rand.Rand) float64 {
+	if cells <= 0 {
+		return f.Leak(width, tempC)
+	}
+	sigma := VthSigmaFor(width)
+	worst := 0.0
+	for i := 0; i < cells; i++ {
+		dv := rng.NormFloat64() * sigma
+		if l := f.LeakWithDVth(width, tempC, dv); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// ExpectedWeakestLeak returns the analytic expectation of the weakest-cell
+// leakage for n cells. Per-cell leakage is lognormal in ΔVth with
+// σ* = σVth/(SubSlope·vT), so
+//
+//	E[max leak] = leak₀ · ∫ e^(σ*·z) · n·φ(z)·Φ(z)^(n−1) dz
+//
+// which is evaluated by deterministic numeric quadrature (Gumbel
+// asymptotics misbehave here: minimum-size SRAM cells have σ* comparable
+// to the extreme-value location, the heavy-tail regime). The sizing engine
+// uses this closed form so sizing stays deterministic; tests cross-check
+// it against the Monte-Carlo WeakestCellLeak.
+func ExpectedWeakestLeak(f *Flavor, width, tempC float64, cells int) float64 {
+	if cells <= 1 {
+		return f.Leak(width, tempC)
+	}
+	// The ΔVth→leakage exponent uses the reference thermal voltage, matching
+	// LeakWithDVth: the weak cell is a fixed multiple of the nominal one and
+	// both follow the fitted KLeak over temperature.
+	sigmaStar := VthSigmaFor(width) / (f.SubSlope * thermalVoltage(T0))
+	return f.Leak(width, tempC) * lognormalMaxMean(sigmaStar, cells)
+}
+
+// lognormalMaxMean computes E[e^(σ·max of n standard normals)] by Simpson
+// quadrature of e^(σz)·n·φ(z)·Φ(z)^(n−1).
+func lognormalMaxMean(sigma float64, n int) float64 {
+	const (
+		zLo  = -8.0
+		zHi  = 16.0
+		step = 0.005
+	)
+	phi := func(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
+	cdf := func(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+	fn := float64(n)
+	integrand := func(z float64) float64 {
+		c := cdf(z)
+		if c <= 0 {
+			return 0
+		}
+		return math.Exp(sigma*z+(fn-1)*math.Log(c)) * fn * phi(z)
+	}
+	// Composite Simpson.
+	steps := int((zHi - zLo) / step)
+	if steps%2 == 1 {
+		steps++
+	}
+	h := (zHi - zLo) / float64(steps)
+	sum := integrand(zLo) + integrand(zHi)
+	for i := 1; i < steps; i++ {
+		z := zLo + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * integrand(z)
+		} else {
+			sum += 2 * integrand(z)
+		}
+	}
+	return sum * h / 3
+}
+
+// expectedMaxNormal approximates E[max of n standard normals] via the
+// asymptotic expansion of the extreme-value distribution.
+func expectedMaxNormal(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	z := math.Sqrt(2 * math.Log(float64(n)))
+	z -= (math.Log(math.Log(float64(n))) + math.Log(4*math.Pi)) / (2 * z)
+	return z
+}

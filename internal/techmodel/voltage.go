@@ -1,0 +1,54 @@
+package techmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// AtVdd returns a derived flavor re-characterized at a different supply
+// voltage. The alpha-power law gives the drive-resistance scaling
+//
+//	R(V)/R(V₀) = (V/V₀) · ((V₀−Vth)/(V−Vth))^α
+//
+// (higher voltage → more overdrive → lower resistance), subthreshold
+// leakage current is nearly supply-independent, so leakage *power* scales
+// linearly with V, and the temperature behavior (TempExp, KVth, KLeak)
+// carries over. This is the knob behind voltage corners such as the
+// paper's "100°C@0.8V" and the DVFS-style exploration of its related work
+// ([12], [13]).
+func (f Flavor) AtVdd(vdd float64) (Flavor, error) {
+	if vdd <= f.Vth(T0)+0.05 {
+		return Flavor{}, fmt.Errorf("techmodel: %s cannot operate at %.2f V (Vth %.2f V)", f.Name, vdd, f.Vth(T0))
+	}
+	out := f
+	ratio := (vdd / f.Vdd) * math.Pow((f.Vdd-f.Vth0)/(vdd-f.Vth0), f.Alpha)
+	out.Vdd = vdd
+	out.R0 = f.R0 * ratio
+	out.I0 = f.I0 * vdd / f.Vdd
+	out.Name = fmt.Sprintf("%s@%.2fV", f.Name, vdd)
+	return out, nil
+}
+
+// AtVdd returns a kit whose core-logic flavors (buffers, pass transistors,
+// standard cells) run at the given supply. The BRAM array keeps its own
+// low-power rail, as in the paper's Table I (Vdd vs Vlow-power).
+func (k *Kit) AtVdd(vdd float64) (*Kit, error) {
+	out := *k
+	var err error
+	if out.Buf, err = k.Buf.AtVdd(vdd); err != nil {
+		return nil, err
+	}
+	if out.BufP, err = k.BufP.AtVdd(vdd); err != nil {
+		return nil, err
+	}
+	if out.Pass, err = k.Pass.AtVdd(vdd); err != nil {
+		return nil, err
+	}
+	if out.Cell, err = k.Cell.AtVdd(vdd); err != nil {
+		return nil, err
+	}
+	if out.CellP, err = k.CellP.AtVdd(vdd); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

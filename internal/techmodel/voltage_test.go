@@ -1,0 +1,99 @@
+package techmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAtVddScalesResistance(t *testing.T) {
+	k := Default22nm()
+	lo, err := k.Buf.AtVdd(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := k.Buf.AtVdd(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := k.Buf.Ron(1, 25)
+	if lo.Ron(1, 25) <= base {
+		t.Fatal("lower supply must be slower")
+	}
+	if hi.Ron(1, 25) >= base {
+		t.Fatal("higher supply must be faster")
+	}
+}
+
+func TestAtVddIdentity(t *testing.T) {
+	k := Default22nm()
+	same, err := k.Buf.AtVdd(k.Buf.Vdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(same.Ron(1, 25)-k.Buf.Ron(1, 25)) > 1e-12 {
+		t.Fatal("re-characterizing at the same supply must be a no-op")
+	}
+	if math.Abs(same.Leak(1, 25)-k.Buf.Leak(1, 25)) > 1e-12 {
+		t.Fatal("leakage must be unchanged at the same supply")
+	}
+}
+
+func TestAtVddLeakagePower(t *testing.T) {
+	k := Default22nm()
+	hi, err := k.Buf.AtVdd(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := k.Buf.Leak(1, 25) * 0.9 / 0.8
+	if math.Abs(hi.Leak(1, 25)-want) > 1e-12 {
+		t.Fatalf("leakage power must scale with V: %g vs %g", hi.Leak(1, 25), want)
+	}
+}
+
+func TestAtVddRejectsSubThresholdSupply(t *testing.T) {
+	k := Default22nm()
+	if _, err := k.SRAM.AtVdd(0.3); err == nil {
+		t.Fatal("expected error for a supply below threshold")
+	}
+}
+
+func TestKitAtVdd(t *testing.T) {
+	k := Default22nm()
+	derived, err := k.AtVdd(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.Buf.Vdd != 0.9 || derived.Pass.Vdd != 0.9 || derived.Cell.Vdd != 0.9 {
+		t.Fatal("core flavors must move to the new rail")
+	}
+	if derived.SRAM.Vdd != k.SRAM.Vdd {
+		t.Fatal("the BRAM low-power rail must be untouched")
+	}
+	if derived.Wire != k.Wire {
+		t.Fatal("interconnect must be unchanged")
+	}
+	// The original kit must not be mutated.
+	if k.Buf.Vdd != 0.8 {
+		t.Fatal("AtVdd mutated the source kit")
+	}
+	if _, err := k.AtVdd(0.2); err == nil {
+		t.Fatal("expected error for an unusable rail")
+	}
+}
+
+func TestVoltageTemperatureInterplay(t *testing.T) {
+	// At a lower supply the overdrive is smaller, so the Vth(T) term
+	// compensates mobility more strongly: the low-voltage flavor must be
+	// *less* temperature-sensitive in relative terms (the inverted-
+	// temperature-dependence trend).
+	k := Default22nm()
+	lo, err := k.Buf.AtVdd(0.65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRatio := k.Buf.Ron(1, 100) / k.Buf.Ron(1, 0)
+	loRatio := lo.Ron(1, 100) / lo.Ron(1, 0)
+	if loRatio >= baseRatio {
+		t.Fatalf("low-Vdd flavor should trend toward temperature inversion: %g vs %g", loRatio, baseRatio)
+	}
+}

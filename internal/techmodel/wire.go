@@ -1,0 +1,44 @@
+package techmodel
+
+import "fmt"
+
+// Wire models metal interconnect. Resistance carries the copper temperature
+// coefficient (≈0.39 %/°C); capacitance is temperature-independent to first
+// order. Because wire resistance grows more slowly with temperature than
+// transistor on-resistance, the balance between the two shifts with the
+// sizing corner — this is one of the mechanisms behind the paper's Fig. 2/3
+// corner-dependent optima.
+type Wire struct {
+	// RPerUm0 is resistance per µm at T0, in kΩ/µm.
+	RPerUm0 float64
+	// CPerUm is capacitance per µm, in fF/µm.
+	CPerUm float64
+	// TCR is the linear temperature coefficient of resistance, in 1/°C.
+	TCR float64
+}
+
+// R returns the resistance in kΩ of a wire of the given length (µm) at tempC.
+func (w Wire) R(lengthUm, tempC float64) float64 {
+	return w.RPerUm0 * lengthUm * (1 + w.TCR*(tempC-T0))
+}
+
+// C returns the capacitance in fF of a wire of the given length (µm).
+func (w Wire) C(lengthUm float64) float64 { return w.CPerUm * lengthUm }
+
+// ElmoreWire returns the Elmore delay contribution in ps of a distributed RC
+// wire of the given length driving loadFF fF: R·(C/2 + C_load) with the wire
+// treated as a single lumped π segment.
+func (w Wire) ElmoreWire(lengthUm, tempC, loadFF float64) float64 {
+	return w.R(lengthUm, tempC) * (w.C(lengthUm)/2 + loadFF)
+}
+
+// Validate reports whether the wire model is physically sensible.
+func (w Wire) Validate() error {
+	if w.RPerUm0 <= 0 || w.CPerUm <= 0 {
+		return fmt.Errorf("techmodel: wire RPerUm0 and CPerUm must be positive (got %g, %g)", w.RPerUm0, w.CPerUm)
+	}
+	if w.TCR < 0 || w.TCR > 0.01 {
+		return fmt.Errorf("techmodel: wire TCR %g outside plausible range [0, 0.01]", w.TCR)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package thermarch implements the paper's Section III-B/III-C: comparing
+// fabrics transistor-sized for different thermal corners and choosing the
+// corner (device grade) that minimizes expected delay over a foreknown
+// field temperature range (Eq. 1). It also maintains a small corner-device
+// cache, since sizing a device is the expensive step.
+package thermarch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tafpga/internal/coffe"
+	"tafpga/internal/techmodel"
+)
+
+// Library lazily sizes and caches devices per thermal corner.
+type Library struct {
+	Kit  *techmodel.Kit
+	Arch coffe.Params
+
+	mu    sync.Mutex
+	cache map[float64]*coffe.Device
+}
+
+// NewLibrary returns an empty device cache for one kit/architecture.
+func NewLibrary(kit *techmodel.Kit, arch coffe.Params) *Library {
+	return &Library{Kit: kit, Arch: arch, cache: map[float64]*coffe.Device{}}
+}
+
+// Device returns the fabric sized for the given corner, sizing it on first
+// use.
+func (l *Library) Device(cornerC float64) (*coffe.Device, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if d, ok := l.cache[cornerC]; ok {
+		return d, nil
+	}
+	d, err := coffe.SizeDevice(l.Kit, l.Arch, cornerC)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[cornerC] = d
+	return d, nil
+}
+
+// ExpectedDelay evaluates Eq. 1 for a device over a uniform operating range
+// [tMin, tMax], using the representative critical path.
+func ExpectedDelay(d *coffe.Device, tMinC, tMaxC float64) float64 {
+	return d.ExpectedRepCP(tMinC, tMaxC)
+}
+
+// CornerChoice records one candidate corner's expected delay.
+type CornerChoice struct {
+	CornerC       float64
+	ExpectedDelay float64
+}
+
+// SelectCorner sizes (or fetches) a device per candidate corner and returns
+// the candidates ranked by expected delay over [tMin, tMax], best first —
+// the thermal-aware architecture-selection step of Section III-C.
+func (l *Library) SelectCorner(tMinC, tMaxC float64, candidates []float64) ([]CornerChoice, error) {
+	if tMaxC < tMinC {
+		return nil, fmt.Errorf("thermarch: invalid range [%g, %g]", tMinC, tMaxC)
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("thermarch: no candidate corners")
+	}
+	out := make([]CornerChoice, 0, len(candidates))
+	for _, c := range candidates {
+		d, err := l.Device(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CornerChoice{CornerC: c, ExpectedDelay: ExpectedDelay(d, tMinC, tMaxC)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ExpectedDelay < out[j].ExpectedDelay })
+	return out, nil
+}
+
+// Grade is a named device grade, mirroring how commercial families expose
+// speed grades (Section III-C suggests adding thermal grades the same way).
+type Grade struct {
+	Name    string
+	CornerC float64
+	// FieldMinC/FieldMaxC describe the field conditions the grade targets.
+	FieldMinC, FieldMaxC float64
+}
+
+// StandardGrades returns the grade menu used in the experiments: a typical
+// commercial grade (25 °C) plus low- and high-temperature grades.
+func StandardGrades() []Grade {
+	return []Grade{
+		{Name: "cold", CornerC: 0, FieldMinC: -10, FieldMaxC: 25},
+		{Name: "typical", CornerC: 25, FieldMinC: 0, FieldMaxC: 60},
+		{Name: "datacenter", CornerC: 70, FieldMinC: 45, FieldMaxC: 100},
+	}
+}
+
+// GradeFor picks the standard grade whose field window is closest to the
+// given operating range (smallest |center offset|).
+func GradeFor(tMinC, tMaxC float64) Grade {
+	center := (tMinC + tMaxC) / 2
+	grades := StandardGrades()
+	best := grades[0]
+	bestOff := offset(best, center)
+	for _, g := range grades[1:] {
+		if o := offset(g, center); o < bestOff {
+			best, bestOff = g, o
+		}
+	}
+	return best
+}
+
+func offset(g Grade, center float64) float64 {
+	c := (g.FieldMinC + g.FieldMaxC) / 2
+	if c > center {
+		return c - center
+	}
+	return center - c
+}

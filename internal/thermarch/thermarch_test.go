@@ -1,0 +1,91 @@
+package thermarch
+
+import (
+	"testing"
+
+	"tafpga/internal/coffe"
+	"tafpga/internal/techmodel"
+)
+
+func lib() *Library {
+	return NewLibrary(techmodel.Default22nm(), coffe.DefaultParams())
+}
+
+func TestLibraryCaches(t *testing.T) {
+	l := lib()
+	a, err := l.Device(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Device(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("library must return the cached device")
+	}
+}
+
+func TestSelectCornerPrefersMatchingCorner(t *testing.T) {
+	l := lib()
+	// A hot field window should pick a hot corner; a cold window a cold
+	// corner.
+	hot, err := l.SelectCorner(70, 100, []float64{0, 25, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot[0].CornerC != 100 {
+		t.Fatalf("hot field picked D%.0f", hot[0].CornerC)
+	}
+	cold, err := l.SelectCorner(0, 20, []float64{0, 25, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold[0].CornerC != 0 {
+		t.Fatalf("cold field picked D%.0f", cold[0].CornerC)
+	}
+	// Ranking must be sorted by expected delay.
+	for i := 1; i < len(hot); i++ {
+		if hot[i-1].ExpectedDelay > hot[i].ExpectedDelay {
+			t.Fatal("choices not sorted")
+		}
+	}
+}
+
+func TestSelectCornerValidation(t *testing.T) {
+	l := lib()
+	if _, err := l.SelectCorner(50, 10, []float64{25}); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := l.SelectCorner(10, 50, nil); err == nil {
+		t.Fatal("expected empty-candidates error")
+	}
+}
+
+func TestExpectedDelayIsEq1(t *testing.T) {
+	l := lib()
+	d, err := l.Device(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ExpectedDelay(d, 20, 60)
+	if e <= d.RepCP(20) || e >= d.RepCP(60) {
+		t.Fatalf("E[d]=%g outside integration bounds (%g, %g)", e, d.RepCP(20), d.RepCP(60))
+	}
+}
+
+func TestStandardGradesAndGradeFor(t *testing.T) {
+	gs := StandardGrades()
+	if len(gs) < 3 {
+		t.Fatal("expected at least three grades")
+	}
+	if g := GradeFor(60, 95); g.Name != "datacenter" {
+		t.Fatalf("hot field mapped to %q", g.Name)
+	}
+	if g := GradeFor(-5, 15); g.Name != "cold" {
+		t.Fatalf("cold field mapped to %q", g.Name)
+	}
+	if g := GradeFor(15, 45); g.Name != "typical" {
+		t.Fatalf("typical field mapped to %q", g.Name)
+	}
+}
