@@ -14,6 +14,7 @@ package tafpga_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"tafpga/internal/coffe"
 	"tafpga/internal/experiments"
@@ -221,6 +222,46 @@ func BenchmarkAblationPlacement(b *testing.B) {
 		diff = rows[len(rows)-1].GainPct - rows[0].GainPct
 	}
 	b.ReportMetric(diff, "%gain-delta-vs-effort")
+}
+
+// BenchmarkSuiteParallel runs the full Fig. 6 suite (pack → place → route →
+// Algorithm 1 over all 19 benchmarks) serially and with 4 workers, checks
+// the outputs are bit-identical, and reports the parallel speedup. Both
+// runs share the sized-device library so the measurement isolates the
+// embarrassingly-parallel per-benchmark work.
+func BenchmarkSuiteParallel(b *testing.B) {
+	base := sharedContext(b)
+	if _, err := base.Device(25); err != nil {
+		b.Fatal(err)
+	}
+	mk := func(workers int) *experiments.Context {
+		c := experiments.NewContext(benchScale)
+		c.ChannelTracks = benchWidth
+		c.PlaceEffort = 0.5
+		c.Workers = workers
+		c.Lib = base.Lib
+		return c
+	}
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		serial, err := mk(1).Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialD := time.Since(start)
+
+		start = time.Now()
+		par, err := mk(4).Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		parD := time.Since(start)
+
+		if experiments.FormatBench("x", serial) != experiments.FormatBench("x", par) {
+			b.Fatal("parallel suite output diverged from the serial run")
+		}
+		b.ReportMetric(serialD.Seconds()/parD.Seconds(), "x-speedup")
+	}
 }
 
 // BenchmarkDeviceSizing measures the COFFE-style sizing flow itself.

@@ -11,6 +11,11 @@
 //	-effort f   placement effort (default 1.0)
 //	-bench csv  restrict Fig. 6/7/8 to a comma-separated benchmark list
 //	-csv dir    also write machine-readable CSVs into dir
+//	-parallel n benchmark fan-out workers (0 = GOMAXPROCS, 1 = serial)
+//
+// Experiment results go to stdout; timing lines (per-benchmark wall time,
+// per-experiment totals, and the parallel speedup) go to stderr, so stdout
+// is byte-identical for any -parallel value.
 package main
 
 import (
@@ -31,6 +36,7 @@ func main() {
 	effort := flag.Float64("effort", 1.0, "placement effort")
 	benchCSV := flag.String("bench", "", "comma-separated benchmark subset")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	parallel := flag.Int("parallel", 0, "benchmark fan-out workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *csvDir != "" {
@@ -43,8 +49,20 @@ func main() {
 	ctx := experiments.NewContext(*scale)
 	ctx.ChannelTracks = *width
 	ctx.PlaceEffort = *effort
+	ctx.Workers = *parallel
 	if *benchCSV != "" {
 		ctx.Benchmarks = strings.Split(*benchCSV, ",")
+	}
+
+	// Per-benchmark wall times, drained after each experiment. The pool
+	// serializes callback invocations.
+	type benchTime struct {
+		name string
+		d    time.Duration
+	}
+	var times []benchTime
+	ctx.OnBenchDone = func(name string, d time.Duration) {
+		times = append(times, benchTime{name, d})
 	}
 
 	wanted := flag.Args()
@@ -57,11 +75,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "taexp: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		if len(times) > 0 {
+			var serialEq time.Duration
+			for _, bt := range times {
+				serialEq += bt.d
+				fmt.Fprintf(os.Stderr, "  [%s: %-18s %v]\n", name, bt.name, bt.d.Round(time.Millisecond))
+			}
+			fmt.Fprintf(os.Stderr, "[%s: %d benchmark runs, serial-equivalent %v, wall %v, speedup %.2fx]\n",
+				name, len(times), serialEq.Round(time.Millisecond), wall.Round(time.Millisecond),
+				serialEq.Seconds()/wall.Seconds())
+			times = times[:0]
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, wall.Round(time.Millisecond))
+		fmt.Println()
 	}
 }
 
 func run(ctx *experiments.Context, name, csvDir string) error {
+	warnUnconverged := func(rs []experiments.BenchResult) {
+		if un := experiments.Unconverged(rs); len(un) > 0 {
+			fmt.Fprintf(os.Stderr, "taexp: warning: %s: Algorithm 1 exhausted its iteration budget on: %s\n",
+				name, strings.Join(un, ", "))
+		}
+	}
 	csvOut := func(file string, write func(io.Writer) error) error {
 		if csvDir == "" {
 			return nil
@@ -126,6 +163,7 @@ func run(ctx *experiments.Context, name, csvDir string) error {
 			return err
 		}
 		fmt.Print(experiments.FormatBench("Fig. 6: guardbanding gain at Tamb=25C — paper average 36.5%", rs))
+		warnUnconverged(rs)
 		if err := csvOut("fig6.csv", func(w io.Writer) error { return experiments.WriteBenchCSV(w, rs) }); err != nil {
 			return err
 		}
@@ -135,6 +173,7 @@ func run(ctx *experiments.Context, name, csvDir string) error {
 			return err
 		}
 		fmt.Print(experiments.FormatBench("Fig. 7: guardbanding gain at Tamb=70C — paper average 14%", rs))
+		warnUnconverged(rs)
 		if err := csvOut("fig7.csv", func(w io.Writer) error { return experiments.WriteBenchCSV(w, rs) }); err != nil {
 			return err
 		}
@@ -144,6 +183,7 @@ func run(ctx *experiments.Context, name, csvDir string) error {
 			return err
 		}
 		fmt.Print(experiments.FormatBench("Fig. 8: 70C-optimized fabric vs typical at Tamb=70C (both guardbanded) — paper average 6.7%", rs))
+		warnUnconverged(rs)
 		if err := csvOut("fig8.csv", func(w io.Writer) error { return experiments.WriteBenchCSV(w, rs) }); err != nil {
 			return err
 		}

@@ -19,18 +19,26 @@
 //	-effort f     placement effort (default 1.0)
 //	-seed n       random seed override (default: derived from the name)
 //	-blif path    write the generated netlist as BLIF to path
+//	-sweep spec   guardband an ambient sweep instead of one point:
+//	              "lo:hi:step" (e.g. 0:100:10) or a comma list (e.g. 25,45,70)
+//	-parallel n   sweep workers (0 = GOMAXPROCS, 1 = serial)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	"tafpga"
 	"tafpga/internal/bench"
 	"tafpga/internal/coffe"
 	"tafpga/internal/flow"
+	"tafpga/internal/guardband"
 	"tafpga/internal/netlist"
 	"tafpga/internal/sta"
 )
@@ -48,6 +56,8 @@ func main() {
 	vdd := flag.Float64("vdd", 0, "core supply override in volts (0 = Table I's 0.8 V)")
 	paths := flag.Int("paths", 0, "report the N worst timing endpoints")
 	powerRep := flag.Bool("power", false, "report the power breakdown at the converged operating point")
+	sweep := flag.String("sweep", "", `ambient sweep: "lo:hi:step" or comma list of °C`)
+	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -64,6 +74,14 @@ func main() {
 	name := "external"
 	if *blifIn == "" {
 		name = flag.Arg(0)
+	}
+
+	// Validate the sweep spec up front: a typo must not cost a sizing run.
+	var ambients []float64
+	if *sweep != "" {
+		var err error
+		ambients, err = parseSweep(*sweep)
+		die(err)
 	}
 
 	cfg := tafpga.NewConfig()
@@ -111,6 +129,11 @@ func main() {
 	die(err)
 	fmt.Printf("implemented on %s (router: %d iterations, %s)\n", im.Grid, im.Routed.Iters, im.Routed.Graph)
 
+	if *sweep != "" {
+		runSweep(im, ambients, *parallel)
+		return
+	}
+
 	res, err := im.Guardband(tafpga.GuardbandOptions(*ambient))
 	die(err)
 
@@ -120,6 +143,10 @@ func main() {
 	fmt.Printf("  improvement           %8.1f %%\n", res.GainPct)
 	fmt.Printf("  converged in          %8d iterations\n", res.Iterations)
 	fmt.Printf("  mean rise / spread    %8.2f / %.2f °C\n", res.RiseC, res.SpreadC)
+	if !res.Converged {
+		fmt.Println("  WARNING: iteration budget exhausted before the temperature map settled;")
+		fmt.Println("           the figures above are the last iterate, not a converged point")
+	}
 
 	fmt.Println("\nCritical-path composition at the converged corner (ps):")
 	kinds := make([]coffe.ResourceKind, 0, len(res.Breakdown))
@@ -145,6 +172,93 @@ func main() {
 		fmt.Printf("  clocking           %10.1f\n", b.DynClockingUW)
 		fmt.Printf("  leakage            %10.1f\n", b.LeakUW)
 		fmt.Printf("  total              %10.1f\n", b.TotalUW())
+	}
+}
+
+// parseSweep parses "lo:hi:step" or a comma-separated list of ambients.
+func parseSweep(spec string) ([]float64, error) {
+	if strings.Contains(spec, ":") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("sweep spec %q: want lo:hi:step", spec)
+		}
+		var v [3]float64
+		for i, p := range parts {
+			f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("sweep spec %q: %w", spec, err)
+			}
+			v[i] = f
+		}
+		lo, hi, step := v[0], v[1], v[2]
+		if step <= 0 || hi < lo {
+			return nil, fmt.Errorf("sweep spec %q: need hi >= lo and step > 0", spec)
+		}
+		var out []float64
+		for t := lo; t <= hi+1e-9; t += step {
+			out = append(out, t)
+		}
+		return out, nil
+	}
+	var out []float64
+	for _, p := range strings.Split(spec, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep spec %q: %w", spec, err)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep spec %q: empty", spec)
+	}
+	return out, nil
+}
+
+// runSweep guardbands the implementation at every ambient on a bounded
+// worker pool (Algorithm 1 only reads the implementation, so the runs are
+// independent) and prints the table in sweep order.
+func runSweep(im *flow.Implementation, ambients []float64, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ambients) {
+		workers = len(ambients)
+	}
+	results := make([]*guardband.Result, len(ambients))
+	errs := make([]error, len(ambients))
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(ambients) {
+					return
+				}
+				results[i], errs[i] = im.Guardband(tafpga.GuardbandOptions(ambients[i]))
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("\nThermal-aware guardbanding ambient sweep (%d workers):\n", workers)
+	fmt.Printf("%10s %12s %12s %8s %7s %8s %9s\n", "Tamb(C)", "fmax(MHz)", "worst(MHz)", "gain(%)", "iters", "rise(C)", "converged")
+	for i, amb := range ambients {
+		if errs[i] != nil {
+			fmt.Printf("%10.1f  error: %v\n", amb, errs[i])
+			continue
+		}
+		r := results[i]
+		fmt.Printf("%10.1f %12.1f %12.1f %8.1f %7d %8.2f %9t\n",
+			amb, r.FmaxMHz, r.BaselineMHz, r.GainPct, r.Iterations, r.RiseC, r.Converged)
 	}
 }
 

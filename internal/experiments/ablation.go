@@ -22,29 +22,40 @@ type AblationRow struct {
 // studies (one logic-heavy, one BRAM-heavy, one DSP-heavy design).
 var ablationBenchmarks = []string{"sha", "mkPktMerge", "raygentop"}
 
+// ablationMean runs Algorithm 1 with per-configuration options over the
+// ablation benchmark set on the worker pool and returns the mean result
+// per benchmark in input order, so the averaging below is order-stable.
+func (c *Context) ablationMean(ambientC float64, tune func(*guardband.Options)) ([]*guardband.Result, error) {
+	return forEachBench(c, ablationBenchmarks, func(name string) (*guardband.Result, error) {
+		im, err := c.Implementation(name)
+		if err != nil {
+			return nil, err
+		}
+		opts := guardband.DefaultOptions(ambientC)
+		if tune != nil {
+			tune(&opts)
+		}
+		return im.Guardband(opts)
+	})
+}
+
 // AblationDeltaT sweeps Algorithm 1's δT margin: a tighter margin converts
 // convergence slack directly into frequency, a looser one re-creates a
 // mini worst-case guardband.
 func (c *Context) AblationDeltaT(ambientC float64) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, dt := range []float64{0.25, 0.5, 1, 2, 5, 10} {
+		results, err := c.ablationMean(ambientC, func(o *guardband.Options) { o.DeltaTC = dt })
+		if err != nil {
+			return nil, err
+		}
 		sum := 0.0
-		for _, name := range ablationBenchmarks {
-			im, err := c.Implementation(name)
-			if err != nil {
-				return nil, err
-			}
-			opts := guardband.DefaultOptions(ambientC)
-			opts.DeltaTC = dt
-			res, err := im.Guardband(opts)
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results {
 			sum += res.GainPct
 		}
 		rows = append(rows, AblationRow{
 			Label:   fmt.Sprintf("deltaT=%.2fC", dt),
-			GainPct: sum / float64(len(ablationBenchmarks)),
+			GainPct: sum / float64(len(results)),
 		})
 	}
 	return rows, nil
@@ -60,21 +71,15 @@ func (c *Context) AblationUniformT(ambientC float64) ([]AblationRow, error) {
 		if uniform {
 			label = "uniform worst T ([12]-style)"
 		}
+		results, err := c.ablationMean(ambientC, func(o *guardband.Options) { o.UniformT = uniform })
+		if err != nil {
+			return nil, err
+		}
 		sum := 0.0
-		for _, name := range ablationBenchmarks {
-			im, err := c.Implementation(name)
-			if err != nil {
-				return nil, err
-			}
-			opts := guardband.DefaultOptions(ambientC)
-			opts.UniformT = uniform
-			res, err := im.Guardband(opts)
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results {
 			sum += res.GainPct
 		}
-		rows = append(rows, AblationRow{Label: label, GainPct: sum / float64(len(ablationBenchmarks))})
+		rows = append(rows, AblationRow{Label: label, GainPct: sum / float64(len(results))})
 	}
 	return rows, nil
 }
@@ -88,22 +93,16 @@ func (c *Context) AblationNoLeakFeedback(ambientC float64) ([]AblationRow, error
 		if freeze {
 			label = "leakage frozen at Tamb"
 		}
+		results, err := c.ablationMean(ambientC, func(o *guardband.Options) { o.FreezeLeakage = freeze })
+		if err != nil {
+			return nil, err
+		}
 		sum, rise := 0.0, 0.0
-		for _, name := range ablationBenchmarks {
-			im, err := c.Implementation(name)
-			if err != nil {
-				return nil, err
-			}
-			opts := guardband.DefaultOptions(ambientC)
-			opts.FreezeLeakage = freeze
-			res, err := im.Guardband(opts)
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results {
 			sum += res.GainPct
 			rise += res.RiseC
 		}
-		n := float64(len(ablationBenchmarks))
+		n := float64(len(results))
 		rows = append(rows, AblationRow{
 			Label: label, GainPct: sum / n,
 			Detail: fmt.Sprintf("mean rise %.2fC", rise/n),
@@ -116,21 +115,20 @@ func (c *Context) AblationNoLeakFeedback(ambientC float64) ([]AblationRow, error
 // guardbanding gain is measured on top of whatever implementation quality
 // placement delivers.
 func (c *Context) AblationPlacement(ambientC float64) ([]AblationRow, error) {
+	dev, err := c.Device(25)
+	if err != nil {
+		return nil, err
+	}
 	var rows []AblationRow
 	for _, effort := range []float64{0.1, 1.0} {
 		label := fmt.Sprintf("place effort %.1f", effort)
-		sum := 0.0
-		for _, name := range ablationBenchmarks {
+		results, err := forEachBench(c, ablationBenchmarks, func(name string) (*guardband.Result, error) {
 			// Fresh implementation at this effort (not cached).
 			p, err := bench.ByName(name)
 			if err != nil {
 				return nil, err
 			}
 			nl, err := bench.Generate(p.Scaled(c.Scale), bench.SeedFor(name))
-			if err != nil {
-				return nil, err
-			}
-			dev, err := c.Device(25)
 			if err != nil {
 				return nil, err
 			}
@@ -143,13 +141,16 @@ func (c *Context) AblationPlacement(ambientC float64) ([]AblationRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := im.Guardband(guardband.DefaultOptions(ambientC))
-			if err != nil {
-				return nil, err
-			}
+			return im.Guardband(guardband.DefaultOptions(ambientC))
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum := 0.0
+		for _, res := range results {
 			sum += res.GainPct
 		}
-		rows = append(rows, AblationRow{Label: label, GainPct: sum / float64(len(ablationBenchmarks))})
+		rows = append(rows, AblationRow{Label: label, GainPct: sum / float64(len(results))})
 	}
 	return rows, nil
 }

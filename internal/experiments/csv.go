@@ -15,6 +15,12 @@ func WriteSeriesCSV(w io.Writer, ss []Series) error {
 	if len(ss) == 0 {
 		return fmt.Errorf("experiments: no series to export")
 	}
+	for _, s := range ss {
+		if len(s.Y) != len(ss[0].X) {
+			return fmt.Errorf("experiments: ragged series %q: %d points vs %d on the X axis",
+				s.Label, len(s.Y), len(ss[0].X))
+		}
+	}
 	cw := csv.NewWriter(w)
 	header := []string{"T_C"}
 	for _, s := range ss {
@@ -39,7 +45,7 @@ func WriteSeriesCSV(w io.Writer, ss []Series) error {
 // WriteBenchCSV exports a per-benchmark result set (Figs. 6–8).
 func WriteBenchCSV(w io.Writer, rs []BenchResult) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"benchmark", "gain_pct", "fmax_mhz", "baseline_mhz", "iterations", "rise_c", "spread_c"}); err != nil {
+	if err := cw.Write([]string{"benchmark", "gain_pct", "fmax_mhz", "baseline_mhz", "iterations", "rise_c", "spread_c", "converged"}); err != nil {
 		return err
 	}
 	for _, r := range rs {
@@ -51,11 +57,12 @@ func WriteBenchCSV(w io.Writer, rs []BenchResult) error {
 			fmt.Sprintf("%d", r.Iterations),
 			fmt.Sprintf("%.2f", r.RiseC),
 			fmt.Sprintf("%.2f", r.SpreadC),
+			fmt.Sprintf("%t", r.Converged),
 		}); err != nil {
 			return err
 		}
 	}
-	if err := cw.Write([]string{"average", fmt.Sprintf("%.2f", Average(rs)), "", "", "", "", ""}); err != nil {
+	if err := cw.Write([]string{"average", fmt.Sprintf("%.2f", Average(rs)), "", "", "", "", "", ""}); err != nil {
 		return err
 	}
 	cw.Flush()

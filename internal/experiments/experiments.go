@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"tafpga/internal/bench"
 	"tafpga/internal/coffe"
@@ -22,7 +24,9 @@ import (
 )
 
 // Context carries the shared setup and caches (sized devices, implemented
-// benchmarks) across experiments.
+// benchmarks) across experiments. It is safe for concurrent use: the suite
+// drivers themselves fan benchmarks out over a bounded worker pool (see
+// Workers), and several drivers may run on one context at once.
 type Context struct {
 	Kit  *techmodel.Kit
 	Arch coffe.Params
@@ -37,7 +41,29 @@ type Context struct {
 	// Benchmarks restricts the suite (nil = all 19).
 	Benchmarks []string
 
-	impls map[string]*flow.Implementation
+	// Workers bounds the per-benchmark fan-out of the suite drivers
+	// (Figs. 6–8 and the ablations): 0 means runtime.GOMAXPROCS(0) and 1
+	// reproduces the serial engine. Every benchmark carries its own seed
+	// and results are assembled in suite order, so any worker count
+	// produces bit-identical output.
+	Workers int
+
+	// OnBenchDone, when set, receives each benchmark run's wall time as
+	// the suite drivers finish it (calls are serialized, completion order).
+	OnBenchDone func(name string, elapsed time.Duration)
+
+	mu    sync.Mutex
+	impls map[string]*implEntry
+}
+
+// implEntry is one singleflight slot of the implementation cache: the first
+// caller packs/places/routes under once while concurrent callers for the
+// same benchmark block, and the outcome — error included — is kept so a
+// failing benchmark fails exactly once.
+type implEntry struct {
+	once sync.Once
+	im   *flow.Implementation
+	err  error
 }
 
 // NewContext returns a context at the given benchmark scale.
@@ -53,12 +79,14 @@ func NewContext(scale float64) *Context {
 			return scale
 		}(),
 		PlaceEffort: 1.0,
-		impls:       map[string]*flow.Implementation{},
+		impls:       map[string]*implEntry{},
 	}
 }
 
 // library lazily builds the corner-device cache.
 func (c *Context) library() *thermarch.Library {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.Lib == nil {
 		c.Lib = thermarch.NewLibrary(c.Kit, c.Arch)
 	}
@@ -86,9 +114,23 @@ func (c *Context) suite() []string {
 // caching the result (the physical implementation is device-independent
 // within one architecture, so Fig. 6/7/8 share it).
 func (c *Context) Implementation(name string) (*flow.Implementation, error) {
-	if im, ok := c.impls[name]; ok {
-		return im, nil
+	c.mu.Lock()
+	if c.impls == nil {
+		c.impls = map[string]*implEntry{}
 	}
+	e, ok := c.impls[name]
+	if !ok {
+		e = &implEntry{}
+		c.impls[name] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.im, e.err = c.implement(name) })
+	return e.im, e.err
+}
+
+// implement runs the CAD flow for one benchmark (the cache-miss path of
+// Implementation).
+func (c *Context) implement(name string) (*flow.Implementation, error) {
 	dev, err := c.Device(25)
 	if err != nil {
 		return nil, err
@@ -111,7 +153,6 @@ func (c *Context) Implementation(name string) (*flow.Implementation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", name, err)
 	}
-	c.impls[name] = im
 	return im, nil
 }
 
@@ -253,6 +294,22 @@ type BenchResult struct {
 	Iterations int
 	RiseC      float64
 	SpreadC    float64
+	// Converged is false when Algorithm 1 exhausted MaxIters before the
+	// temperature map settled; the reported numbers are then the last
+	// iterate, not a converged operating point.
+	Converged bool
+}
+
+// Unconverged returns the names of the results whose Algorithm 1 run did
+// not converge, in suite order.
+func Unconverged(rs []BenchResult) []string {
+	var names []string
+	for _, r := range rs {
+		if !r.Converged {
+			names = append(names, r.Name)
+		}
+	}
+	return names
 }
 
 // Average returns the mean gain of a result set (the paper's "average" bar).
@@ -267,25 +324,25 @@ func Average(rs []BenchResult) float64 {
 	return s / float64(len(rs))
 }
 
-// guardbandSuite runs Algorithm 1 per benchmark at one ambient temperature.
+// guardbandSuite runs Algorithm 1 per benchmark at one ambient temperature,
+// fanned out over the context's worker pool.
 func (c *Context) guardbandSuite(ambientC float64) ([]BenchResult, error) {
-	var out []BenchResult
-	for _, name := range c.suite() {
+	return forEachBench(c, c.suite(), func(name string) (BenchResult, error) {
 		im, err := c.Implementation(name)
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		res, err := im.Guardband(guardband.DefaultOptions(ambientC))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+			return BenchResult{}, fmt.Errorf("experiments: %s: %w", name, err)
 		}
-		out = append(out, BenchResult{
+		return BenchResult{
 			Name: name, GainPct: res.GainPct,
 			FmaxMHz: res.FmaxMHz, BaselineMHz: res.BaselineMHz,
 			Iterations: res.Iterations, RiseC: res.RiseC, SpreadC: res.SpreadC,
-		})
-	}
-	return out, nil
+			Converged: res.Converged,
+		}, nil
+	})
 }
 
 // Fig6 reproduces "Performance gain of thermal-aware guardbanding at
@@ -304,41 +361,46 @@ func (c *Context) Fig8() ([]BenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []BenchResult
-	for _, name := range c.suite() {
+	return forEachBench(c, c.suite(), func(name string) (BenchResult, error) {
 		im25, err := c.Implementation(name)
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		im70, err := im25.WithDevice(d70)
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		r25, err := im25.Guardband(guardband.DefaultOptions(70))
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		r70, err := im70.Guardband(guardband.DefaultOptions(70))
 		if err != nil {
-			return nil, err
+			return BenchResult{}, err
 		}
 		gain := 0.0
 		if r25.FmaxMHz > 0 {
 			gain = (r70.FmaxMHz/r25.FmaxMHz - 1) * 100
 		}
-		out = append(out, BenchResult{
+		return BenchResult{
 			Name: name, GainPct: gain,
 			FmaxMHz: r70.FmaxMHz, BaselineMHz: r25.FmaxMHz,
 			Iterations: r70.Iterations, RiseC: r70.RiseC, SpreadC: r70.SpreadC,
-		})
-	}
-	return out, nil
+			Converged: r25.Converged && r70.Converged,
+		}, nil
+	})
 }
 
-// FormatSeries renders plotted series as aligned columns.
+// FormatSeries renders plotted series as aligned columns. Empty input
+// yields just the title, and ragged series (fewer Y points than the X axis)
+// render "-" for the missing values instead of panicking.
 func FormatSeries(title string, ss []Series, yFmt string) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, title)
+	if len(ss) == 0 {
+		fmt.Fprintln(&b, "  (no series)")
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%8s", "T(C)")
 	for _, s := range ss {
 		fmt.Fprintf(&b, "%12s", s.Label)
@@ -347,22 +409,35 @@ func FormatSeries(title string, ss []Series, yFmt string) string {
 	for i := range ss[0].X {
 		fmt.Fprintf(&b, "%8.0f", ss[0].X[i])
 		for _, s := range ss {
-			fmt.Fprintf(&b, "%12s", fmt.Sprintf(yFmt, s.Y[i]))
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%12s", fmt.Sprintf(yFmt, s.Y[i]))
+			} else {
+				fmt.Fprintf(&b, "%12s", "-")
+			}
 		}
 		fmt.Fprintln(&b)
 	}
 	return b.String()
 }
 
-// FormatBench renders a Fig. 6/7/8 result set.
+// FormatBench renders a Fig. 6/7/8 result set, flagging benchmarks whose
+// Algorithm 1 run exhausted its iteration budget without converging.
 func FormatBench(title string, rs []BenchResult) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, title)
 	for _, r := range rs {
-		fmt.Fprintf(&b, "  %-18s %6.1f%%   (fmax %7.1f MHz vs %7.1f MHz, %d iters, rise %.1fC, spread %.1fC)\n",
-			r.Name, r.GainPct, r.FmaxMHz, r.BaselineMHz, r.Iterations, r.RiseC, r.SpreadC)
+		warn := ""
+		if !r.Converged {
+			warn = "  [UNCONVERGED]"
+		}
+		fmt.Fprintf(&b, "  %-18s %6.1f%%   (fmax %7.1f MHz vs %7.1f MHz, %d iters, rise %.1fC, spread %.1fC)%s\n",
+			r.Name, r.GainPct, r.FmaxMHz, r.BaselineMHz, r.Iterations, r.RiseC, r.SpreadC, warn)
 	}
 	fmt.Fprintf(&b, "  %-18s %6.1f%%\n", "average", Average(rs))
+	if un := Unconverged(rs); len(un) > 0 {
+		fmt.Fprintf(&b, "  warning: %d of %d benchmarks did not converge: %s\n",
+			len(un), len(rs), strings.Join(un, ", "))
+	}
 	return b.String()
 }
 

@@ -299,12 +299,15 @@ func TestCSVExports(t *testing.T) {
 	}
 
 	buf.Reset()
-	bench := []BenchResult{{Name: "x", GainPct: 10, FmaxMHz: 100, BaselineMHz: 90}}
+	bench := []BenchResult{{Name: "x", GainPct: 10, FmaxMHz: 100, BaselineMHz: 90, Converged: true}}
 	if err := WriteBenchCSV(&buf, bench); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "average,10.00") {
 		t.Fatalf("bench CSV missing average row:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "true") {
+		t.Fatalf("bench CSV missing converged column:\n%s", buf.String())
 	}
 
 	if err := WriteSeriesCSV(&buf, nil); err == nil {

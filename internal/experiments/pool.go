@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// workers resolves the context's pool width.
+func (c *Context) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachBench fans fn out over names on a bounded worker pool and returns
+// the per-name results assembled in input order, so a parallel run is
+// bit-identical to a serial one (every benchmark already carries its own
+// seed). Names are claimed in order; after a failure no new name starts,
+// in-flight names finish, and the error of the earliest-indexed failure is
+// returned — the same error a serial loop would have stopped on.
+func forEachBench[T any](c *Context, names []string, fn func(name string) (T, error)) ([]T, error) {
+	n := len(names)
+	if n == 0 {
+		return nil, nil
+	}
+	w := c.workers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	var (
+		mu     sync.Mutex
+		next   int
+		failed bool
+		wg     sync.WaitGroup
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed || next >= n {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				start := time.Now()
+				res, err := fn(names[i])
+				if err != nil {
+					mu.Lock()
+					errs[i] = err
+					failed = true
+					mu.Unlock()
+					continue
+				}
+				out[i] = res
+				if c.OnBenchDone != nil {
+					elapsed := time.Since(start)
+					mu.Lock()
+					c.OnBenchDone(names[i], elapsed)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -54,20 +54,25 @@ func RunAdaptive(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, profile [
 		return nil, fmt.Errorf("guardband: empty ambient profile")
 	}
 	res := &AdaptiveResult{}
+	o := opts
+	o.normalize()
+	// The conventional worst-case baseline depends only on the
+	// implementation and T_worst, not on the epoch ambient: analyze it
+	// once and share it across every epoch.
+	worst := an.Analyze(sta.UniformTemps(an.PL.Grid.NumTiles(), o.WorstCaseC))
+	res.BaselineMHz = worst.FmaxMHz
 	totalH := 0.0
 	weighted := 0.0
 	for _, pt := range profile {
 		if pt.Hours <= 0 {
 			return nil, fmt.Errorf("guardband: non-positive epoch duration %g h", pt.Hours)
 		}
-		o := opts
 		o.AmbientC = pt.AmbientC
-		r, err := Run(an, pm, th, o)
+		r, err := runWithBaseline(an, pm, th, o, worst)
 		if err != nil {
 			return nil, fmt.Errorf("guardband: epoch at %g°C: %w", pt.AmbientC, err)
 		}
 		res.Epochs = append(res.Epochs, Epoch{ProfilePoint: pt, FmaxMHz: r.FmaxMHz, RiseC: r.RiseC})
-		res.BaselineMHz = r.BaselineMHz
 		totalH += pt.Hours
 		weighted += pt.Hours * r.FmaxMHz
 	}

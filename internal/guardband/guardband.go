@@ -50,6 +50,11 @@ type Result struct {
 	// BaselineMHz is the conventional frequency assuming T_worst on every
 	// tile.
 	BaselineMHz float64
+	// Converged is true when the temperature map met the δT threshold
+	// within MaxIters. When false, Temps (and the frequency derived from
+	// it) are the last iterate of an unconverged loop and should be
+	// treated as an estimate, not an operating point.
+	Converged bool
 	// GainPct is the performance improvement of thermal-aware guardbanding
 	// over the worst-case baseline, in percent.
 	GainPct float64
@@ -65,14 +70,28 @@ type Result struct {
 	Breakdown map[coffe.ResourceKind]float64
 }
 
+// normalize fills unset options with the paper's defaults.
+func (o *Options) normalize() {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 20
+	}
+	if o.DeltaTC <= 0 {
+		o.DeltaTC = 0.5
+	}
+}
+
 // Run executes Algorithm 1 on one routed implementation.
 func Run(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts Options) (*Result, error) {
-	if opts.MaxIters <= 0 {
-		opts.MaxIters = 20
-	}
-	if opts.DeltaTC <= 0 {
-		opts.DeltaTC = 0.5
-	}
+	opts.normalize()
+	worst := an.Analyze(sta.UniformTemps(an.PL.Grid.NumTiles(), opts.WorstCaseC))
+	return runWithBaseline(an, pm, th, opts, worst)
+}
+
+// runWithBaseline is Run with the conventional worst-case STA precomputed:
+// the baseline depends only on the implementation and T_worst, so callers
+// sweeping ambient conditions (RunAdaptive) analyze it once and share it.
+// opts must already be normalized.
+func runWithBaseline(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts Options, worst sta.Report) (*Result, error) {
 	nTiles := an.PL.Grid.NumTiles()
 
 	// Line 1-2: start from ambient everywhere.
@@ -115,6 +134,7 @@ func Run(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts Options) (*R
 		}
 		temps = next
 		if maxDelta <= opts.DeltaTC {
+			res.Converged = true
 			break
 		}
 	}
@@ -125,9 +145,6 @@ func Run(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts Options) (*R
 		margined[i] = temps[i] + opts.DeltaTC
 	}
 	final := an.Analyze(margined)
-
-	// Baseline: conventional worst-case guardband.
-	worst := an.Analyze(sta.UniformTemps(nTiles, opts.WorstCaseC))
 
 	res.FmaxMHz = final.FmaxMHz
 	res.BaselineMHz = worst.FmaxMHz

@@ -69,6 +69,7 @@ func setup(t *testing.T) fixture {
 }
 
 func TestAlgorithm1HeadlineBehavior(t *testing.T) {
+	t.Parallel()
 	f := setup(t)
 	res25, err := Run(f.an, f.pm, f.th, DefaultOptions(25))
 	if err != nil {
@@ -96,6 +97,7 @@ func TestAlgorithm1HeadlineBehavior(t *testing.T) {
 }
 
 func TestConvergesInFewIterations(t *testing.T) {
+	t.Parallel()
 	// The paper: "often takes a few (less than ten) iterations".
 	f := setup(t)
 	res, err := Run(f.an, f.pm, f.th, DefaultOptions(25))
@@ -111,6 +113,7 @@ func TestConvergesInFewIterations(t *testing.T) {
 }
 
 func TestTemperatureRiseIsModest(t *testing.T) {
+	t.Parallel()
 	// The paper: "due to relatively low switching rate, the temperature
 	// converged after ~2 °C increase".
 	f := setup(t)
@@ -127,6 +130,7 @@ func TestTemperatureRiseIsModest(t *testing.T) {
 }
 
 func TestDeltaTMarginIsRealMargin(t *testing.T) {
+	t.Parallel()
 	f := setup(t)
 	tight := DefaultOptions(25)
 	tight.DeltaTC = 0.25
@@ -146,6 +150,7 @@ func TestDeltaTMarginIsRealMargin(t *testing.T) {
 }
 
 func TestUniformTAblationIsPessimistic(t *testing.T) {
+	t.Parallel()
 	f := setup(t)
 	perTile, err := Run(f.an, f.pm, f.th, DefaultOptions(25))
 	if err != nil {
@@ -164,6 +169,7 @@ func TestUniformTAblationIsPessimistic(t *testing.T) {
 }
 
 func TestFrozenLeakageCoolsTheLoop(t *testing.T) {
+	t.Parallel()
 	f := setup(t)
 	live, err := Run(f.an, f.pm, f.th, DefaultOptions(70))
 	if err != nil {
@@ -182,6 +188,7 @@ func TestFrozenLeakageCoolsTheLoop(t *testing.T) {
 }
 
 func TestBreakdownPresent(t *testing.T) {
+	t.Parallel()
 	f := setup(t)
 	res, err := Run(f.an, f.pm, f.th, DefaultOptions(25))
 	if err != nil {
@@ -199,7 +206,67 @@ func TestBreakdownPresent(t *testing.T) {
 	}
 }
 
+// TestConvergedFlag is the regression test for the silent MaxIters
+// fall-through: an exhausted iteration budget must be reported as
+// unconverged, while a normal run reports Converged.
+func TestConvergedFlag(t *testing.T) {
+	t.Parallel()
+	f := setup(t)
+	res, err := Run(f.an, f.pm, f.th, DefaultOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("default run must converge (took %d iterations)", res.Iterations)
+	}
+
+	opts := DefaultOptions(25)
+	opts.MaxIters = 1
+	starved, err := Run(f.an, f.pm, f.th, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.Converged {
+		t.Fatal("MaxIters=1 cannot report convergence: the first thermal solve rises past δT")
+	}
+	if starved.Iterations != 1 {
+		t.Fatalf("starved run took %d iterations, want 1", starved.Iterations)
+	}
+	if starved.FmaxMHz <= 0 || starved.BaselineMHz <= 0 {
+		t.Fatal("unconverged runs must still report the last iterate")
+	}
+}
+
+// TestAdaptiveBaselineEpochIndependent: the worst-case baseline STA depends
+// only on the implementation, so neither the number of epochs nor their
+// ambients may change it — and it must equal the baseline Run reports.
+func TestAdaptiveBaselineEpochIndependent(t *testing.T) {
+	t.Parallel()
+	f := setup(t)
+	one, err := RunAdaptive(f.an, f.pm, f.th, []ProfilePoint{{Hours: 1, AmbientC: 25}}, DefaultOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := RunAdaptive(f.an, f.pm, f.th, []ProfilePoint{
+		{Hours: 8, AmbientC: 25}, {Hours: 10, AmbientC: 45}, {Hours: 6, AmbientC: 70},
+	}, DefaultOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.BaselineMHz != three.BaselineMHz {
+		t.Fatalf("baseline depends on epoch count: %g vs %g", one.BaselineMHz, three.BaselineMHz)
+	}
+	direct, err := Run(f.an, f.pm, f.th, DefaultOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.BaselineMHz != one.BaselineMHz {
+		t.Fatalf("adaptive baseline %g diverged from Run's %g", one.BaselineMHz, direct.BaselineMHz)
+	}
+}
+
 func TestDefaultOptionValues(t *testing.T) {
+	t.Parallel()
 	o := DefaultOptions(40)
 	if o.AmbientC != 40 || o.WorstCaseC != 100 || o.DeltaTC != 0.5 {
 		t.Fatalf("defaults drifted: %+v", o)
@@ -207,6 +274,7 @@ func TestDefaultOptionValues(t *testing.T) {
 }
 
 func TestAdaptiveProfile(t *testing.T) {
+	t.Parallel()
 	f := setup(t)
 	profile := []ProfilePoint{
 		{Hours: 8, AmbientC: 25},  // night
@@ -238,6 +306,7 @@ func TestAdaptiveProfile(t *testing.T) {
 }
 
 func TestAdaptiveValidation(t *testing.T) {
+	t.Parallel()
 	f := setup(t)
 	if _, err := RunAdaptive(f.an, f.pm, f.th, nil, DefaultOptions(0)); err == nil {
 		t.Fatal("expected error for an empty profile")

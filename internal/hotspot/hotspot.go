@@ -158,10 +158,15 @@ func Mean(temps []float64) float64 {
 	return s / float64(len(temps))
 }
 
-// Max returns the hottest tile temperature.
+// Max returns the hottest tile temperature. Like Mean and Spread it
+// returns 0 for an empty map, so a degenerate grid can never inject -Inf
+// into the UniformT collapse of Algorithm 1.
 func Max(temps []float64) float64 {
-	hi := math.Inf(-1)
-	for _, t := range temps {
+	if len(temps) == 0 {
+		return 0
+	}
+	hi := temps[0]
+	for _, t := range temps[1:] {
 		if t > hi {
 			hi = t
 		}

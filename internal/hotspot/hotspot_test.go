@@ -20,6 +20,7 @@ func model(t *testing.T, w, h int, baseUW float64) *Model {
 }
 
 func TestUniformPowerGivesUniformRise(t *testing.T) {
+	t.Parallel()
 	m := model(t, 10, 10, 100000)
 	p := make([]float64, 100)
 	for i := range p {
@@ -40,6 +41,7 @@ func TestUniformPowerGivesUniformRise(t *testing.T) {
 }
 
 func TestXPESensitivityCrossValidation(t *testing.T) {
+	t.Parallel()
 	// The paper validates its thermal setup against the Xilinx Power
 	// Estimator: ΔT ≈ 0.7 · p_design / p_base. NewModel calibrates the sink
 	// resistance from exactly that identity, so a design dissipating k×
@@ -64,6 +66,7 @@ func TestXPESensitivityCrossValidation(t *testing.T) {
 }
 
 func TestHotspotStandsOut(t *testing.T) {
+	t.Parallel()
 	m := model(t, 15, 15, 100000)
 	p := make([]float64, 225)
 	for i := range p {
@@ -88,6 +91,7 @@ func TestHotspotStandsOut(t *testing.T) {
 }
 
 func TestOnChipVariationCanExceed20C(t *testing.T) {
+	t.Parallel()
 	// The paper cites >20 °C on-chip variation as attainable; an extreme
 	// power map must be able to produce it.
 	m := model(t, 20, 20, 150000)
@@ -105,6 +109,7 @@ func TestOnChipVariationCanExceed20C(t *testing.T) {
 }
 
 func TestSuperposition(t *testing.T) {
+	t.Parallel()
 	// The network is linear: solving the sum of two power maps equals the
 	// sum of the rises.
 	m := model(t, 8, 8, 50000)
@@ -127,6 +132,7 @@ func TestSuperposition(t *testing.T) {
 }
 
 func TestSolveValidation(t *testing.T) {
+	t.Parallel()
 	m := model(t, 4, 4, 1000)
 	if _, err := m.Solve(make([]float64, 3), 25); err == nil {
 		t.Fatal("expected length error")
@@ -139,6 +145,7 @@ func TestSolveValidation(t *testing.T) {
 }
 
 func TestNewModelValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewModel(0, 4, 1000); err == nil {
 		t.Fatal("expected grid error")
 	}
@@ -148,6 +155,7 @@ func TestNewModelValidation(t *testing.T) {
 }
 
 func TestStatsHelpers(t *testing.T) {
+	t.Parallel()
 	temps := []float64{10, 20, 15}
 	if Spread(temps) != 10 || Mean(temps) != 15 || Max(temps) != 20 {
 		t.Fatal("stats helpers broken")
@@ -157,9 +165,31 @@ func TestStatsHelpers(t *testing.T) {
 	}
 }
 
+// TestStatsHelpersEmptyConsistency: all three statistics agree on the empty
+// map — in particular Max must return 0, not -Inf, so the UniformT ablation
+// can never propagate -Inf temperatures.
+func TestStatsHelpersEmptyConsistency(t *testing.T) {
+	t.Parallel()
+	for _, temps := range [][]float64{nil, {}} {
+		if got := Max(temps); got != 0 {
+			t.Fatalf("Max(%v) = %g, want 0", temps, got)
+		}
+		if got := Mean(temps); got != 0 {
+			t.Fatalf("Mean(%v) = %g, want 0", temps, got)
+		}
+		if got := Spread(temps); got != 0 {
+			t.Fatalf("Spread(%v) = %g, want 0", temps, got)
+		}
+	}
+	if Max([]float64{-40}) != -40 {
+		t.Fatal("Max must still report negative temperatures")
+	}
+}
+
 // Property: ambient shifts are pure offsets (linearity in the boundary
 // condition), and more total power never cools any tile.
 func TestThermalProperties(t *testing.T) {
+	t.Parallel()
 	m := model(t, 6, 6, 20000)
 	f := func(seed uint8, extra uint16) bool {
 		p := make([]float64, 36)
@@ -198,6 +228,7 @@ func TestThermalProperties(t *testing.T) {
 }
 
 func TestWriteFLPAndPTrace(t *testing.T) {
+	t.Parallel()
 	grid, err := arch.Build(coffe.DefaultParams(), 12, 1, 1)
 	if err != nil {
 		t.Fatal(err)

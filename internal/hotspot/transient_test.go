@@ -19,6 +19,7 @@ func stableDt(m *Model) float64 {
 }
 
 func TestTransientConvergesToSteadyState(t *testing.T) {
+	t.Parallel()
 	m := transientModel(t)
 	p := make([]float64, 64)
 	p[27] = 20000
@@ -44,6 +45,7 @@ func TestTransientConvergesToSteadyState(t *testing.T) {
 }
 
 func TestTransientMonotoneWarmup(t *testing.T) {
+	t.Parallel()
 	m := transientModel(t)
 	p := make([]float64, 64)
 	for i := range p {
@@ -73,6 +75,7 @@ func TestTransientMonotoneWarmup(t *testing.T) {
 }
 
 func TestTransientValidation(t *testing.T) {
+	t.Parallel()
 	m := transientModel(t)
 	good := make([]float64, 64)
 	if _, err := m.SolveTransient(good[:5], good, 25, 1, 1e-4); err == nil {
@@ -87,6 +90,7 @@ func TestTransientValidation(t *testing.T) {
 }
 
 func TestSettleTimeIsMilliseconds(t *testing.T) {
+	t.Parallel()
 	m := transientModel(t)
 	p := make([]float64, 64)
 	for i := range p {
@@ -106,6 +110,7 @@ func TestSettleTimeIsMilliseconds(t *testing.T) {
 }
 
 func TestSettleTimeAtEquilibriumIsZero(t *testing.T) {
+	t.Parallel()
 	m := transientModel(t)
 	p := make([]float64, 64)
 	steady, err := m.Solve(p, 25)

@@ -14,34 +14,47 @@ import (
 	"tafpga/internal/techmodel"
 )
 
-// Library lazily sizes and caches devices per thermal corner.
+// Library lazily sizes and caches devices per thermal corner. It is safe
+// for concurrent use: the map is guarded by a short-lived mutex while the
+// expensive coffe.SizeDevice runs under a per-corner entry lock, so
+// distinct corners size concurrently and concurrent requests for the same
+// corner size it exactly once.
 type Library struct {
 	Kit  *techmodel.Kit
 	Arch coffe.Params
 
 	mu    sync.Mutex
-	cache map[float64]*coffe.Device
+	cache map[float64]*libEntry
+}
+
+// libEntry is one corner's singleflight slot; the sizing outcome (error
+// included) is cached under once.
+type libEntry struct {
+	once sync.Once
+	dev  *coffe.Device
+	err  error
 }
 
 // NewLibrary returns an empty device cache for one kit/architecture.
 func NewLibrary(kit *techmodel.Kit, arch coffe.Params) *Library {
-	return &Library{Kit: kit, Arch: arch, cache: map[float64]*coffe.Device{}}
+	return &Library{Kit: kit, Arch: arch, cache: map[float64]*libEntry{}}
 }
 
 // Device returns the fabric sized for the given corner, sizing it on first
 // use.
 func (l *Library) Device(cornerC float64) (*coffe.Device, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if d, ok := l.cache[cornerC]; ok {
-		return d, nil
+	if l.cache == nil {
+		l.cache = map[float64]*libEntry{}
 	}
-	d, err := coffe.SizeDevice(l.Kit, l.Arch, cornerC)
-	if err != nil {
-		return nil, err
+	e, ok := l.cache[cornerC]
+	if !ok {
+		e = &libEntry{}
+		l.cache[cornerC] = e
 	}
-	l.cache[cornerC] = d
-	return d, nil
+	l.mu.Unlock()
+	e.once.Do(func() { e.dev, e.err = coffe.SizeDevice(l.Kit, l.Arch, cornerC) })
+	return e.dev, e.err
 }
 
 // ExpectedDelay evaluates Eq. 1 for a device over a uniform operating range

@@ -1,6 +1,7 @@
 package thermarch
 
 import (
+	"sync"
 	"testing"
 
 	"tafpga/internal/coffe"
@@ -11,7 +12,41 @@ func lib() *Library {
 	return NewLibrary(techmodel.Default22nm(), coffe.DefaultParams())
 }
 
+// TestLibraryConcurrentAccess: distinct corners may size concurrently, but
+// every corner is sized exactly once — concurrent requests for the same
+// corner must return the identical device (run under -race).
+func TestLibraryConcurrentAccess(t *testing.T) {
+	t.Parallel()
+	l := lib()
+	corners := []float64{25, 70, 25, 70, 25, 70}
+	devs := make([]*coffe.Device, len(corners))
+	var wg sync.WaitGroup
+	for i := range corners {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := l.Device(corners[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			devs[i] = d
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if devs[0] != devs[2] || devs[0] != devs[4] || devs[1] != devs[3] || devs[1] != devs[5] {
+		t.Fatal("same-corner requests must be singleflighted to one device")
+	}
+	if devs[0] == devs[1] {
+		t.Fatal("distinct corners must size distinct devices")
+	}
+}
+
 func TestLibraryCaches(t *testing.T) {
+	t.Parallel()
 	l := lib()
 	a, err := l.Device(25)
 	if err != nil {
@@ -27,6 +62,7 @@ func TestLibraryCaches(t *testing.T) {
 }
 
 func TestSelectCornerPrefersMatchingCorner(t *testing.T) {
+	t.Parallel()
 	l := lib()
 	// A hot field window should pick a hot corner; a cold window a cold
 	// corner.
@@ -53,6 +89,7 @@ func TestSelectCornerPrefersMatchingCorner(t *testing.T) {
 }
 
 func TestSelectCornerValidation(t *testing.T) {
+	t.Parallel()
 	l := lib()
 	if _, err := l.SelectCorner(50, 10, []float64{25}); err == nil {
 		t.Fatal("expected range error")
@@ -63,6 +100,7 @@ func TestSelectCornerValidation(t *testing.T) {
 }
 
 func TestExpectedDelayIsEq1(t *testing.T) {
+	t.Parallel()
 	l := lib()
 	d, err := l.Device(25)
 	if err != nil {
@@ -75,6 +113,7 @@ func TestExpectedDelayIsEq1(t *testing.T) {
 }
 
 func TestStandardGradesAndGradeFor(t *testing.T) {
+	t.Parallel()
 	gs := StandardGrades()
 	if len(gs) < 3 {
 		t.Fatal("expected at least three grades")
