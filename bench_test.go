@@ -35,9 +35,9 @@ var (
 )
 
 // sharedContext reuses one experiment context (device and implementation
-// caches) across all benchmarks in the run.
-func sharedContext(b *testing.B) *experiments.Context {
-	b.Helper()
+// caches) across all benchmarks (and harness-guard tests) in the run.
+func sharedContext(tb testing.TB) *experiments.Context {
+	tb.Helper()
 	benchOnce.Do(func() {
 		benchCtx = experiments.NewContext(benchScale)
 		benchCtx.ChannelTracks = benchWidth

@@ -12,10 +12,13 @@
 //	-bench csv  restrict Fig. 6/7/8 to a comma-separated benchmark list
 //	-csv dir    also write machine-readable CSVs into dir
 //	-parallel n benchmark fan-out workers (0 = GOMAXPROCS, 1 = serial)
+//	-cpuprofile f  write a CPU profile of the run to f (go tool pprof)
+//	-memprofile f  write a heap profile at exit to f
 //
 // Experiment results go to stdout; timing lines (per-benchmark wall time,
-// per-experiment totals, and the parallel speedup) go to stderr, so stdout
-// is byte-identical for any -parallel value.
+// per-experiment totals, the parallel speedup, and the Algorithm-1 kernel
+// accounting) go to stderr, so stdout is byte-identical for any -parallel
+// value and for any solver configuration.
 package main
 
 import (
@@ -24,6 +27,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,7 +42,36 @@ func main() {
 	benchCSV := flag.String("bench", "", "comma-separated benchmark subset")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	parallel := flag.Int("parallel", 0, "benchmark fan-out workers (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taexp:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "taexp:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "taexp:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "taexp:", err)
+			}
+		}()
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -98,6 +132,8 @@ func run(ctx *experiments.Context, name, csvDir string) error {
 			fmt.Fprintf(os.Stderr, "taexp: warning: %s: Algorithm 1 exhausted its iteration budget on: %s\n",
 				name, strings.Join(un, ", "))
 		}
+		// Kernel accounting goes to stderr with the other timing lines.
+		fmt.Fprintf(os.Stderr, "[%s kernels: %s]\n", name, experiments.SumStats(rs))
 	}
 	csvOut := func(file string, write func(io.Writer) error) error {
 		if csvDir == "" {

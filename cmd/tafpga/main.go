@@ -22,6 +22,8 @@
 //	-sweep spec   guardband an ambient sweep instead of one point:
 //	              "lo:hi:step" (e.g. 0:100:10) or a comma list (e.g. 25,45,70)
 //	-parallel n   sweep workers (0 = GOMAXPROCS, 1 = serial)
+//	-cpuprofile f write a CPU profile of the run to f (go tool pprof)
+//	-memprofile f write a heap profile at exit to f
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -58,7 +61,30 @@ func main() {
 	powerRep := flag.Bool("power", false, "report the power breakdown at the converged operating point")
 	sweep := flag.String("sweep", "", `ambient sweep: "lo:hi:step" or comma list of °C`)
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		die(err)
+		die(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tafpga:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tafpga:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("benchmark           LUTs    FFs  BRAMs  DSPs  depth")
@@ -143,6 +169,7 @@ func main() {
 	fmt.Printf("  improvement           %8.1f %%\n", res.GainPct)
 	fmt.Printf("  converged in          %8d iterations\n", res.Iterations)
 	fmt.Printf("  mean rise / spread    %8.2f / %.2f °C\n", res.RiseC, res.SpreadC)
+	fmt.Printf("  kernels               %s\n", res.Stats)
 	if !res.Converged {
 		fmt.Println("  WARNING: iteration budget exhausted before the temperature map settled;")
 		fmt.Println("           the figures above are the last iterate, not a converged point")
@@ -251,15 +278,18 @@ func runSweep(im *flow.Implementation, ambients []float64, workers int) {
 
 	fmt.Printf("\nThermal-aware guardbanding ambient sweep (%d workers):\n", workers)
 	fmt.Printf("%10s %12s %12s %8s %7s %8s %9s\n", "Tamb(C)", "fmax(MHz)", "worst(MHz)", "gain(%)", "iters", "rise(C)", "converged")
+	var agg guardband.Stats
 	for i, amb := range ambients {
 		if errs[i] != nil {
 			fmt.Printf("%10.1f  error: %v\n", amb, errs[i])
 			continue
 		}
 		r := results[i]
+		agg.Add(r.Stats)
 		fmt.Printf("%10.1f %12.1f %12.1f %8.1f %7d %8.2f %9t\n",
 			amb, r.FmaxMHz, r.BaselineMHz, r.GainPct, r.Iterations, r.RiseC, r.Converged)
 	}
+	fmt.Printf("kernels: %s\n", agg)
 }
 
 func die(err error) {

@@ -1,0 +1,196 @@
+// Inner-loop perf-regression benchmarks: the three kernels Algorithm 1
+// spends its time in — the full-netlist timing probe, the steady-state
+// thermal solve, and the complete guardbanding run — each measured in its
+// optimized form and against the seed ("Reference") implementation kept in
+// the same binary, so before/after speedups come from one build:
+//
+//	scripts/bench.sh    # runs these and emits BENCH_inner_loop.json
+//
+// The subject is mcml, the largest bundled benchmark, at the shared harness
+// scale.
+package tafpga_test
+
+import (
+	"sync"
+	"testing"
+
+	"tafpga/internal/flow"
+	"tafpga/internal/guardband"
+)
+
+var (
+	innerOnce sync.Once
+	innerIm   *flow.Implementation
+	innerErr  error
+)
+
+// innerLoopFixture implements the largest bundled benchmark once and shares
+// it across the kernel benchmarks.
+func innerLoopFixture(b *testing.B) *flow.Implementation {
+	b.Helper()
+	innerOnce.Do(func() {
+		ctx := sharedContext(b)
+		innerIm, innerErr = ctx.Implementation("mcml")
+	})
+	if innerErr != nil {
+		b.Fatal(innerErr)
+	}
+	return innerIm
+}
+
+// hotTemps builds a non-uniform operating-point temperature map so the
+// kernels price a realistic gradient, not a constant.
+func hotTemps(im *flow.Implementation) []float64 {
+	n := im.Grid.NumTiles()
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = 45 + 20*float64(i%im.Grid.W)/float64(im.Grid.W)
+	}
+	return t
+}
+
+// BenchmarkHotspotSolve measures the factorized direct thermal solve.
+func BenchmarkHotspotSolve(b *testing.B) {
+	im := innerLoopFixture(b)
+	p := im.Power.Vector(100, hotTemps(im))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := im.Thermal.Solve(p, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotspotSolveIterative measures the optimized Gauss-Seidel
+// fallback (precomputed neighbor lists), cold-started.
+func BenchmarkHotspotSolveIterative(b *testing.B) {
+	im := innerLoopFixture(b)
+	p := im.Power.Vector(100, hotTemps(im))
+	m := *im.Thermal
+	m.DisableDirect = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(p, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotspotSolveReference measures the seed Gauss-Seidel solver.
+func BenchmarkHotspotSolveReference(b *testing.B) {
+	im := innerLoopFixture(b)
+	p := im.Power.Vector(100, hotTemps(im))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := im.Thermal.SolveReference(p, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSTAAnalyze measures the compiled full-netlist timing probe.
+func BenchmarkSTAAnalyze(b *testing.B) {
+	im := innerLoopFixture(b)
+	temps := hotTemps(im)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := im.Timing.Analyze(temps); rep.PeriodPs <= 0 {
+			b.Fatal("degenerate probe")
+		}
+	}
+}
+
+// BenchmarkSTAAnalyzeReference measures the seed map-walking probe.
+func BenchmarkSTAAnalyzeReference(b *testing.B) {
+	im := innerLoopFixture(b)
+	temps := hotTemps(im)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := im.Timing.AnalyzeReference(temps); rep.PeriodPs <= 0 {
+			b.Fatal("degenerate probe")
+		}
+	}
+}
+
+// BenchmarkSTASlacks measures the per-block slack pass (forward + backward
+// sweep on the compiled graph).
+func BenchmarkSTASlacks(b *testing.B) {
+	im := innerLoopFixture(b)
+	temps := hotTemps(im)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sl := im.Timing.Slacks(temps); sl.PeriodPs <= 0 {
+			b.Fatal("degenerate slack pass")
+		}
+	}
+}
+
+// BenchmarkGuardbandRun measures one complete Algorithm-1 run with the
+// optimized kernels (compiled STA, direct thermal solve, warm start).
+func BenchmarkGuardbandRun(b *testing.B) {
+	im := innerLoopFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := im.Guardband(guardband.DefaultOptions(25))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.Stats.STAProbes), "sta-probes")
+			b.ReportMetric(float64(res.Stats.ThermalSweeps), "gs-sweeps")
+		}
+	}
+}
+
+// BenchmarkGuardbandRunReference measures the same run forced onto the seed
+// kernels — the "before" number of the perf harness.
+func BenchmarkGuardbandRunReference(b *testing.B) {
+	im := innerLoopFixture(b)
+	opts := guardband.DefaultOptions(25)
+	opts.Reference = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := im.Guardband(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestInnerLoopBenchmarkAgreement guards the harness itself: the optimized
+// and reference guardband runs it compares must land on the same operating
+// point for the benchmark subject.
+func TestInnerLoopBenchmarkAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("implements mcml; skipped in -short")
+	}
+	ctx := sharedContext(t)
+	im, err := ctx.Implementation("mcml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := im.Guardband(guardband.DefaultOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOpts := guardband.DefaultOptions(25)
+	refOpts.Reference = true
+	ref, err := im.Guardband(refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.BaselineMHz != ref.BaselineMHz {
+		t.Fatalf("baseline diverged: %v vs %v", opt.BaselineMHz, ref.BaselineMHz)
+	}
+	rel := (opt.FmaxMHz - ref.FmaxMHz) / ref.FmaxMHz
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 1e-5 {
+		t.Fatalf("fmax diverged: %v vs %v (rel %g)", opt.FmaxMHz, ref.FmaxMHz, rel)
+	}
+	// The probe the benchmarks time must also agree bit for bit.
+	temps := hotTemps(im)
+	if got, want := im.Timing.Analyze(temps).PeriodPs, im.Timing.AnalyzeReference(temps).PeriodPs; got != want {
+		t.Fatalf("Analyze %v != AnalyzeReference %v", got, want)
+	}
+}

@@ -298,6 +298,18 @@ type BenchResult struct {
 	// temperature map settled; the reported numbers are then the last
 	// iterate, not a converged operating point.
 	Converged bool
+	// Stats accounts the kernel work (timing probes, thermal solves, wall
+	// time) the runs behind this bar performed.
+	Stats guardband.Stats
+}
+
+// SumStats aggregates the kernel accounting of a result set.
+func SumStats(rs []BenchResult) guardband.Stats {
+	var s guardband.Stats
+	for _, r := range rs {
+		s.Add(r.Stats)
+	}
+	return s
 }
 
 // Unconverged returns the names of the results whose Algorithm 1 run did
@@ -341,6 +353,7 @@ func (c *Context) guardbandSuite(ambientC float64) ([]BenchResult, error) {
 			FmaxMHz: res.FmaxMHz, BaselineMHz: res.BaselineMHz,
 			Iterations: res.Iterations, RiseC: res.RiseC, SpreadC: res.SpreadC,
 			Converged: res.Converged,
+			Stats:     res.Stats,
 		}, nil
 	})
 }
@@ -382,11 +395,14 @@ func (c *Context) Fig8() ([]BenchResult, error) {
 		if r25.FmaxMHz > 0 {
 			gain = (r70.FmaxMHz/r25.FmaxMHz - 1) * 100
 		}
+		stats := r25.Stats
+		stats.Add(r70.Stats)
 		return BenchResult{
 			Name: name, GainPct: gain,
 			FmaxMHz: r70.FmaxMHz, BaselineMHz: r25.FmaxMHz,
 			Iterations: r70.Iterations, RiseC: r70.RiseC, SpreadC: r70.SpreadC,
 			Converged: r25.Converged && r70.Converged,
+			Stats:     stats,
 		}, nil
 	})
 }

@@ -3,6 +3,7 @@ package guardband
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"tafpga/internal/hotspot"
 	"tafpga/internal/power"
@@ -44,6 +45,9 @@ type AdaptiveResult struct {
 	// SettleS is the die thermal settle time (informational: epochs are
 	// assumed long against it, which holds for any profile in hours).
 	SettleS float64
+	// Stats aggregates the kernel work across all epochs (plus the shared
+	// baseline probe).
+	Stats Stats
 }
 
 // RunAdaptive runs Algorithm 1 once per profile epoch and aggregates the
@@ -59,7 +63,10 @@ func RunAdaptive(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, profile [
 	// The conventional worst-case baseline depends only on the
 	// implementation and T_worst, not on the epoch ambient: analyze it
 	// once and share it across every epoch.
-	worst := an.Analyze(sta.UniformTemps(an.PL.Grid.NumTiles(), o.WorstCaseC))
+	t0 := time.Now()
+	worst := analyzeAt(an, sta.UniformTemps(an.PL.Grid.NumTiles(), o.WorstCaseC), o.Reference)
+	res.Stats.STAProbes++
+	res.Stats.STANs += time.Since(t0).Nanoseconds()
 	res.BaselineMHz = worst.FmaxMHz
 	totalH := 0.0
 	weighted := 0.0
@@ -73,6 +80,7 @@ func RunAdaptive(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, profile [
 			return nil, fmt.Errorf("guardband: epoch at %g°C: %w", pt.AmbientC, err)
 		}
 		res.Epochs = append(res.Epochs, Epoch{ProfilePoint: pt, FmaxMHz: r.FmaxMHz, RiseC: r.RiseC})
+		res.Stats.Add(r.Stats)
 		totalH += pt.Hours
 		weighted += pt.Hours * r.FmaxMHz
 	}

@@ -9,6 +9,7 @@ package guardband
 
 import (
 	"fmt"
+	"time"
 
 	"tafpga/internal/coffe"
 	"tafpga/internal/hotspot"
@@ -36,6 +37,11 @@ type Options struct {
 	// iterated temperatures, disabling the leakage-temperature feedback
 	// loop. Used for ablation.
 	FreezeLeakage bool
+	// Reference, when set, routes every kernel through the seed
+	// implementations (sta.AnalyzeReference and hotspot.SolveReference,
+	// without warm starting): the "before" half of the perf-regression
+	// harness and the golden path the equivalence tests compare against.
+	Reference bool
 }
 
 // DefaultOptions returns the paper's experimental settings.
@@ -68,6 +74,9 @@ type Result struct {
 	SpreadC float64
 	// Breakdown is the critical-path composition at the converged corner.
 	Breakdown map[coffe.ResourceKind]float64
+	// Stats accounts the kernel work (probes, solves, wall time) the run
+	// performed.
+	Stats Stats
 }
 
 // normalize fills unset options with the paper's defaults.
@@ -83,8 +92,24 @@ func (o *Options) normalize() {
 // Run executes Algorithm 1 on one routed implementation.
 func Run(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts Options) (*Result, error) {
 	opts.normalize()
-	worst := an.Analyze(sta.UniformTemps(an.PL.Grid.NumTiles(), opts.WorstCaseC))
-	return runWithBaseline(an, pm, th, opts, worst)
+	t0 := time.Now()
+	worst := analyzeAt(an, sta.UniformTemps(an.PL.Grid.NumTiles(), opts.WorstCaseC), opts.Reference)
+	baseNs := time.Since(t0).Nanoseconds()
+	res, err := runWithBaseline(an, pm, th, opts, worst)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.STAProbes++
+	res.Stats.STANs += baseNs
+	return res, nil
+}
+
+// analyzeAt dispatches a timing probe to the compiled or seed analyzer.
+func analyzeAt(an *sta.Analyzer, temps []float64, reference bool) sta.Report {
+	if reference {
+		return an.AnalyzeReference(temps)
+	}
+	return an.Analyze(temps)
 }
 
 // runWithBaseline is Run with the conventional worst-case STA precomputed:
@@ -98,11 +123,20 @@ func runWithBaseline(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts 
 	temps := sta.UniformTemps(nTiles, opts.AmbientC)
 	res := &Result{}
 
+	// prevSolved is the raw solver output of the previous iteration (before
+	// any UniformT collapse); it warm-starts the iterative thermal fallback,
+	// which then converges in a handful of sweeps because consecutive
+	// Algorithm-1 iterates differ by at most a few degrees.
+	var prevSolved []float64
+
 	var rep sta.Report
 	for iter := 1; iter <= opts.MaxIters; iter++ {
 		res.Iterations = iter
 		// Line 4: full-netlist timing at the current temperature map.
-		rep = an.Analyze(temps)
+		t0 := time.Now()
+		rep = analyzeAt(an, temps, opts.Reference)
+		res.Stats.STAProbes++
+		res.Stats.STANs += time.Since(t0).Nanoseconds()
 		f := rep.FmaxMHz
 
 		// Line 5: dynamic power at f plus leakage at the tile temperatures.
@@ -110,13 +144,30 @@ func runWithBaseline(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts 
 		if opts.FreezeLeakage {
 			leakTemps = sta.UniformTemps(nTiles, opts.AmbientC)
 		}
+		t0 = time.Now()
 		p := pm.Vector(f, leakTemps)
+		res.Stats.PowerNs += time.Since(t0).Nanoseconds()
 
 		// Line 7: thermal simulation.
-		next, err := th.Solve(p, opts.AmbientC)
+		t0 = time.Now()
+		var next []float64
+		var err error
+		var sst hotspot.SolveStats
+		if opts.Reference {
+			next, err = th.SolveReference(p, opts.AmbientC)
+		} else {
+			next, err = th.SolveSeeded(p, opts.AmbientC, prevSolved, &sst)
+		}
+		res.Stats.ThermalSolves++
+		res.Stats.ThermalSweeps += sst.Sweeps
+		if sst.Direct {
+			res.Stats.ThermalDirect++
+		}
+		res.Stats.ThermalNs += time.Since(t0).Nanoseconds()
 		if err != nil {
 			return nil, fmt.Errorf("guardband: %w", err)
 		}
+		prevSolved = next
 		if opts.UniformT {
 			next = sta.UniformTemps(nTiles, hotspot.Max(next))
 		}
@@ -144,7 +195,10 @@ func runWithBaseline(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts 
 	for i := range temps {
 		margined[i] = temps[i] + opts.DeltaTC
 	}
-	final := an.Analyze(margined)
+	t0 := time.Now()
+	final := analyzeAt(an, margined, opts.Reference)
+	res.Stats.STAProbes++
+	res.Stats.STANs += time.Since(t0).Nanoseconds()
 
 	res.FmaxMHz = final.FmaxMHz
 	res.BaselineMHz = worst.FmaxMHz

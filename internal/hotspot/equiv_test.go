@@ -1,0 +1,251 @@
+package hotspot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// equivGrids covers the degenerate and non-square shapes the solver
+// dispatch must handle: 1×1, 1×N, N×1, squares, and wide/tall rectangles
+// (wide grids exercise the transposed band ordering).
+var equivGrids = [][2]int{
+	{1, 1}, {1, 7}, {7, 1}, {2, 2}, {5, 5}, {3, 11}, {11, 3}, {16, 16}, {24, 6},
+}
+
+// randomPower builds a deterministic pseudo-random power vector with a mix
+// of idle tiles and strong hotspots.
+func randomPower(rng *rand.Rand, n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		switch rng.Intn(4) {
+		case 0:
+			p[i] = 0
+		case 1:
+			p[i] = rng.Float64() * 500
+		default:
+			p[i] = rng.Float64() * 20000
+		}
+	}
+	return p
+}
+
+// maxAbsDiff returns the infinity-norm distance of two maps.
+func maxAbsDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestDirectSolvesTheNetworkExactly: the factorized path must satisfy the
+// discrete heat-balance equations to machine precision — each tile's power
+// plus the lateral and vertical flows must cancel within 1e-9 of the tile
+// power scale.
+func TestDirectSolvesTheNetworkExactly(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range equivGrids {
+		w, h := g[0], g[1]
+		m := model(t, w, h, 40000)
+		p := randomPower(rng, w*h)
+		temps, err := m.Solve(p, 31)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", w, h, err)
+		}
+		tSpread, err := m.validate(p, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gVert := 1 / m.RVertKPerW
+		gLat := 1 / m.RLatKPerW
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				i := y*w + x
+				resid := p[i]*1e-6 + gVert*(tSpread-temps[i])
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx, ny := x+d[0], y+d[1]
+					if nx < 0 || ny < 0 || nx >= w || ny >= h {
+						continue
+					}
+					resid += gLat * (temps[ny*w+nx] - temps[i])
+				}
+				if math.Abs(resid) > 1e-9 {
+					t.Fatalf("%dx%d: tile %d heat-balance residual %g", w, h, i, resid)
+				}
+			}
+		}
+	}
+}
+
+// TestIterativeFallbackBitIdenticalToReference: the optimized Gauss-Seidel
+// fallback (precomputed neighbor lists and denominators) performs exactly
+// the seed implementation's arithmetic, so a cold start must agree bit for
+// bit — not merely within tolerance.
+func TestIterativeFallbackBitIdenticalToReference(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	for _, g := range equivGrids {
+		w, h := g[0], g[1]
+		m := model(t, w, h, 30000)
+		m.DisableDirect = true
+		p := randomPower(rng, w*h)
+		opt, err := m.Solve(p, 25)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", w, h, err)
+		}
+		ref, err := m.SolveReference(p, 25)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", w, h, err)
+		}
+		for i := range ref {
+			if opt[i] != ref[i] {
+				t.Fatalf("%dx%d: tile %d diverged: optimized %v, reference %v", w, h, i, opt[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestDirectMatchesConvergedGaussSeidel: with the relaxation tolerance
+// tightened far below its production setting, the seed iterative solution
+// approaches the direct solution — the two paths solve the same network.
+// At the production tolerance they agree to well inside the guardbanding
+// loop's δT threshold.
+func TestDirectMatchesConvergedGaussSeidel(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(13))
+	for _, g := range equivGrids {
+		w, h := g[0], g[1]
+		m := model(t, w, h, 25000)
+		p := randomPower(rng, w*h)
+		direct, err := m.Solve(p, 25)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", w, h, err)
+		}
+
+		prod, err := m.SolveReference(p, 25)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", w, h, err)
+		}
+		if d := maxAbsDiff(direct, prod); d > 1e-3 {
+			t.Fatalf("%dx%d: production-tolerance GS is %g °C from the direct solution", w, h, d)
+		}
+
+		tight := *m
+		tight.fact = nil // copy runs iteratively without copying the pool
+		tight.Tolerance = 1e-12
+		tight.MaxSweeps = 2000000
+		ref, err := tight.SolveReference(p, 25)
+		if err != nil {
+			t.Fatalf("%dx%d tight: %v", w, h, err)
+		}
+		if d := maxAbsDiff(direct, ref); d > 1e-9 {
+			t.Fatalf("%dx%d: tight GS is %g °C from the direct solution, want <= 1e-9", w, h, d)
+		}
+	}
+}
+
+// TestWarmStartNeverChangesConvergedResults: seeding the iterative solver
+// from an unrelated previous map must land on the same converged solution
+// (within the relaxation tolerance) as a cold start, and must never alter
+// the direct path at all.
+func TestWarmStartNeverChangesConvergedResults(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(17))
+	for _, g := range equivGrids {
+		w, h := g[0], g[1]
+		n := w * h
+		m := model(t, w, h, 35000)
+
+		pa := randomPower(rng, n)
+		pb := randomPower(rng, n)
+		seedMap, err := m.Solve(pa, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Direct path: the seed must be ignored entirely.
+		d1, err := m.SolveSeeded(pb, 25, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := m.SolveSeeded(pb, 25, seedMap, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxAbsDiff(d1, d2) != 0 {
+			t.Fatalf("%dx%d: warm start changed the direct solution", w, h)
+		}
+
+		// Iterative path: cold and warm starts converge to the same map.
+		m.DisableDirect = true
+		var cold, warm SolveStats
+		c, err := m.SolveSeeded(pb, 25, nil, &cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wstart, err := m.SolveSeeded(pb, 25, seedMap, &warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.DisableDirect = false
+		if d := maxAbsDiff(c, wstart); d > 100*m.Tolerance {
+			t.Fatalf("%dx%d: warm start moved the converged map by %g °C", w, h, d)
+		}
+		if cold.Direct || warm.Direct {
+			t.Fatal("iterative solves must not report the direct path")
+		}
+		if cold.Sweeps <= 0 || warm.Sweeps <= 0 {
+			t.Fatal("iterative solves must report their sweep counts")
+		}
+		// Re-seeding with the answer itself must converge almost instantly.
+		var again SolveStats
+		m.DisableDirect = true
+		if _, err := m.SolveSeeded(pb, 25, c, &again); err != nil {
+			t.Fatal(err)
+		}
+		m.DisableDirect = false
+		if again.Sweeps > 3 {
+			t.Fatalf("%dx%d: re-seeding with the solution still took %d sweeps", w, h, again.Sweeps)
+		}
+	}
+}
+
+// TestSolveStatsReportDirect: the default path reports Direct with zero
+// sweeps.
+func TestSolveStatsReportDirect(t *testing.T) {
+	t.Parallel()
+	m := model(t, 6, 4, 20000)
+	var st SolveStats
+	if _, err := m.SolveSeeded(make([]float64, 24), 25, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Direct || st.Sweeps != 0 {
+		t.Fatalf("default solve should be direct with 0 sweeps, got %+v", st)
+	}
+}
+
+// TestLiteralModelStillSolves: a Model assembled by struct literal (no
+// NewModel, so no factorization or neighbor lists) must still solve via the
+// seed path.
+func TestLiteralModelStillSolves(t *testing.T) {
+	t.Parallel()
+	m := &Model{W: 4, H: 3, RSinkKPerW: 2, RVertKPerW: 1800, RLatKPerW: 450,
+		Tolerance: 1e-6, MaxSweeps: 50000}
+	p := make([]float64, 12)
+	p[5] = 4000
+	got, err := m.Solve(p, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.SolveReference(p, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxAbsDiff(got, ref) != 0 {
+		t.Fatal("literal model must run the reference path")
+	}
+}

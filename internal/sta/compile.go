@@ -1,0 +1,289 @@
+package sta
+
+// compile.go flattens the netlist + placement + routing into contiguous
+// arrays at Analyzer construction time. The seed Analyze re-derived every
+// timing arc on every probe — two map lookups (net, then sink path) plus a
+// hop walk per edge — and Algorithm 1 probes the full netlist several times
+// per benchmark. The compiled form prices an arc as a straight scan over a
+// shared (kind, tile) term slice with zero map lookups, and the per-probe
+// working vectors come from a pool, so Analyze allocates nothing beyond the
+// report it returns.
+
+import (
+	"sync"
+
+	"tafpga/internal/coffe"
+	"tafpga/internal/netlist"
+	"tafpga/internal/place"
+	"tafpga/internal/route"
+)
+
+// Source arrival classes (see sourceLaunch).
+const (
+	srcZero   = int8(0) // primary input: arrival 0
+	srcClkToQ = int8(1) // FF/DSP: flip-flop clock-to-Q
+	srcBRAM   = int8(2) // BRAM: synchronous access time
+)
+
+// edgeTerm is one temperature-priced delay contribution of a timing arc.
+type edgeTerm struct {
+	kind coffe.ResourceKind
+	tile int32
+}
+
+// compiled is the flattened timing graph of one implementation. It depends
+// only on netlist/placement/routing — never on the device — so SetDevice
+// keeps it intact.
+type compiled struct {
+	// terms holds every arc's delay terms back to back, in the exact
+	// summation order of the seed netDelay (output mux, routed hops, local
+	// crossbar); arc e spans terms[termLo[e]:termLo[e+1]].
+	terms  []edgeTerm
+	termLo []int32
+	// edgeSrc is the driving block of arc e.
+	edgeSrc []int32
+	// termID[i] indexes terms[i]'s distinct (kind, tile) pair in uniq: a
+	// probe prices each distinct pair once (fillTermVals) and the edge
+	// loops sum cached values instead of re-interpolating the delay tables
+	// per term. Designs reuse the same wire segments and tiles heavily, so
+	// uniq is typically several times smaller than terms.
+	termID []int32
+	uniq   []edgeTerm
+
+	// Sources, in block-ID order: srcID[k] launches with class srcClass[k]
+	// at tile srcTile[k].
+	srcID    []int32
+	srcClass []int8
+	srcTile  []int32
+
+	// Combinational nodes in topological order; node k owns fan-in arcs
+	// [comboEdgeLo[k], comboEdgeLo[k+1]) and, when comboIsLUT[k], adds the
+	// LUT delay at comboTile[k].
+	comboID     []int32
+	comboIsLUT  []bool
+	comboTile   []int32
+	comboEdgeLo []int32
+
+	// Timing endpoints in block-ID order. endSeq marks FF/BRAM/DSP
+	// endpoints, which re-price their fan-in arcs
+	// [endEdgeLo[k], endEdgeLo[k+1]) and add setup at endTile[k]; output
+	// pads (endSeq false) read their already-propagated arrival.
+	endID     []int32
+	endSeq    []bool
+	endTile   []int32
+	endEdgeLo []int32
+
+	// DSP registered-multiply internal constraints.
+	dspID   []int32
+	dspTile []int32
+}
+
+// analyzeScratch is the reusable working set of one Analyze probe.
+type analyzeScratch struct {
+	arrival   []float64
+	worstIn   []int32
+	worstEdge []int32
+	// termVal caches the delay of each distinct (kind, tile) pair at the
+	// probe's temperatures; fully overwritten by fillTermVals, never zeroed.
+	termVal []float64
+}
+
+// compile builds the flattened graph. order is the netlist's combinational
+// topological order.
+func compile(nl *netlist.Netlist, pl *place.Placement, rt *route.Result, order []int) *compiled {
+	c := &compiled{termLo: []int32{0}}
+
+	addEdge := func(src, dst int) {
+		dTile, sTile := pl.TileOf[src], pl.TileOf[dst]
+		routed := false
+		if nr, ok := rt.Nets[src]; ok {
+			if hops, ok := nr.Paths[dst]; ok {
+				routed = true
+				c.terms = append(c.terms, edgeTerm{coffe.OutputMux, int32(dTile)})
+				for _, h := range hops {
+					c.terms = append(c.terms, edgeTerm{h.Kind, int32(h.Tile)})
+				}
+			}
+		}
+		if !routed {
+			c.terms = append(c.terms, edgeTerm{coffe.FeedbackMux, int32(dTile)})
+		}
+		if nl.Blocks[dst].Type != netlist.Output {
+			c.terms = append(c.terms, edgeTerm{coffe.LocalMux, int32(sTile)})
+		}
+		c.edgeSrc = append(c.edgeSrc, int32(src))
+		c.termLo = append(c.termLo, int32(len(c.terms)))
+	}
+
+	for i := range nl.Blocks {
+		switch nl.Blocks[i].Type {
+		case netlist.Input:
+			c.srcID = append(c.srcID, int32(i))
+			c.srcClass = append(c.srcClass, srcZero)
+			c.srcTile = append(c.srcTile, int32(pl.TileOf[i]))
+		case netlist.FF, netlist.DSP:
+			c.srcID = append(c.srcID, int32(i))
+			c.srcClass = append(c.srcClass, srcClkToQ)
+			c.srcTile = append(c.srcTile, int32(pl.TileOf[i]))
+		case netlist.BRAM:
+			c.srcID = append(c.srcID, int32(i))
+			c.srcClass = append(c.srcClass, srcBRAM)
+			c.srcTile = append(c.srcTile, int32(pl.TileOf[i]))
+		}
+	}
+
+	c.comboEdgeLo = append(c.comboEdgeLo, 0)
+	for _, id := range order {
+		b := &nl.Blocks[id]
+		for _, src := range b.Inputs {
+			addEdge(src, id)
+		}
+		c.comboID = append(c.comboID, int32(id))
+		c.comboIsLUT = append(c.comboIsLUT, b.Type == netlist.LUT)
+		c.comboTile = append(c.comboTile, int32(pl.TileOf[id]))
+		c.comboEdgeLo = append(c.comboEdgeLo, int32(len(c.edgeSrc)))
+	}
+
+	c.endEdgeLo = append(c.endEdgeLo, int32(len(c.edgeSrc)))
+	for i := range nl.Blocks {
+		b := &nl.Blocks[i]
+		switch b.Type {
+		case netlist.Output, netlist.FF, netlist.BRAM, netlist.DSP:
+			if len(b.Inputs) == 0 {
+				continue
+			}
+			seq := b.Type != netlist.Output
+			if seq {
+				for _, src := range b.Inputs {
+					addEdge(src, i)
+				}
+			}
+			c.endID = append(c.endID, int32(i))
+			c.endSeq = append(c.endSeq, seq)
+			c.endTile = append(c.endTile, int32(pl.TileOf[i]))
+			c.endEdgeLo = append(c.endEdgeLo, int32(len(c.edgeSrc)))
+		}
+	}
+
+	for i := range nl.Blocks {
+		if nl.Blocks[i].Type == netlist.DSP {
+			c.dspID = append(c.dspID, int32(i))
+			c.dspTile = append(c.dspTile, int32(pl.TileOf[i]))
+		}
+	}
+
+	// Deduplicate the (kind, tile) pairs so a probe interpolates each one
+	// once instead of once per occurrence.
+	c.termID = make([]int32, len(c.terms))
+	seen := make(map[edgeTerm]int32)
+	for i, t := range c.terms {
+		id, ok := seen[t]
+		if !ok {
+			id = int32(len(c.uniq))
+			seen[t] = id
+			c.uniq = append(c.uniq, t)
+		}
+		c.termID[i] = id
+	}
+	return c
+}
+
+// fillTermVals prices every distinct (kind, tile) pair at the given
+// temperatures. Each value is exactly what the seed computed per term, so
+// summing cached values preserves bit-identity.
+func (a *Analyzer) fillTermVals(temps []float64, vals []float64) {
+	dev := a.Dev
+	for i, t := range a.comp.uniq {
+		vals[i] = dev.Delay(t.kind, temps[t.tile])
+	}
+}
+
+// edgeDelay prices arc e from the probe's cached term values, summing in
+// compile order (identical floating-point order to the seed netDelay).
+func (a *Analyzer) edgeDelay(e int32, vals []float64) float64 {
+	c := a.comp
+	delay := 0.0
+	for _, id := range c.termID[c.termLo[e]:c.termLo[e+1]] {
+		delay += vals[id]
+	}
+	return delay
+}
+
+// addEdgeBreakdown accumulates arc e's per-kind delay into the report's
+// breakdown, in term order.
+func (a *Analyzer) addEdgeBreakdown(e int32, temps []float64, rep *Report) {
+	dev := a.Dev
+	for _, t := range a.comp.terms[a.comp.termLo[e]:a.comp.termLo[e+1]] {
+		rep.Breakdown[t.kind] += dev.Delay(t.kind, temps[t.tile])
+	}
+}
+
+// getScratch returns a probe working set with arrival zeroed and the worst
+// fan-in trackers reset.
+func (a *Analyzer) getScratch() *analyzeScratch {
+	sc := a.scratch.Get().(*analyzeScratch)
+	for i := range sc.arrival {
+		sc.arrival[i] = 0
+		sc.worstIn[i] = -1
+		sc.worstEdge[i] = -1
+	}
+	return sc
+}
+
+func newScratchPool(nBlocks, nUniq int) *sync.Pool {
+	return &sync.Pool{New: func() interface{} {
+		return &analyzeScratch{
+			arrival:   make([]float64, nBlocks),
+			worstIn:   make([]int32, nBlocks),
+			worstEdge: make([]int32, nBlocks),
+			termVal:   make([]float64, nUniq),
+		}
+	}}
+}
+
+// seedArrivals fills arrival with the source launch times — the compiled
+// equivalent of the seed's sourceLaunch sweep.
+func (a *Analyzer) seedArrivals(temps []float64, arrival []float64) {
+	dev := a.Dev
+	c := a.comp
+	for k, id := range c.srcID {
+		switch c.srcClass[k] {
+		case srcClkToQ:
+			arrival[id] = dev.FFClkToQ(temps[c.srcTile[k]])
+		case srcBRAM:
+			arrival[id] = dev.Delay(coffe.BRAM, temps[c.srcTile[k]])
+		}
+	}
+}
+
+// propagate runs the combinational forward pass over the compiled order,
+// recording each node's worst fan-in block and arc when trackers are
+// non-nil. The term summation is inlined over the cached values (edgeDelay
+// has a loop, so the compiler won't) — this is the hottest loop of the
+// whole flow.
+func (a *Analyzer) propagate(temps []float64, arrival []float64, vals []float64, worstIn, worstEdge []int32) {
+	dev := a.Dev
+	c := a.comp
+	termID, termLo, edgeSrc := c.termID, c.termLo, c.edgeSrc
+	for k, id := range c.comboID {
+		in, inIdx, inEdge := 0.0, int32(-1), int32(-1)
+		for e := c.comboEdgeLo[k]; e < c.comboEdgeLo[k+1]; e++ {
+			delay := 0.0
+			for _, tid := range termID[termLo[e]:termLo[e+1]] {
+				delay += vals[tid]
+			}
+			if t := arrival[edgeSrc[e]] + delay; t > in {
+				in, inIdx, inEdge = t, edgeSrc[e], e
+			}
+		}
+		if worstIn != nil {
+			worstIn[id] = inIdx
+			worstEdge[id] = inEdge
+		}
+		if c.comboIsLUT[k] {
+			arrival[id] = in + dev.Delay(lutKind, temps[c.comboTile[k]])
+		} else {
+			arrival[id] = in // output pad
+		}
+	}
+}

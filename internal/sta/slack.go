@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"tafpga/internal/netlist"
 )
 
 // SlackReport carries per-block slack data from one required/arrival pass.
@@ -19,33 +17,27 @@ type SlackReport struct {
 	Criticality []float64
 }
 
+// forwardArrivals runs the compiled forward pass into a fresh arrival
+// vector (callers hand it out in their reports, so it cannot come from the
+// probe scratch pool), and returns the priced term values alongside it for
+// the callers' endpoint and backward sweeps.
+func (a *Analyzer) forwardArrivals(temps []float64) (arrival, vals []float64) {
+	arrival = make([]float64, len(a.NL.Blocks))
+	vals = make([]float64, len(a.comp.uniq))
+	a.fillTermVals(temps, vals)
+	a.seedArrivals(temps, arrival)
+	a.propagate(temps, arrival, vals, nil, nil)
+	return arrival, vals
+}
+
 // Slacks runs the full forward/backward pass at the given temperature map
 // and returns per-block slack against the design's own critical period.
 func (a *Analyzer) Slacks(temps []float64) SlackReport {
 	nl := a.NL
+	c := a.comp
 	rep := a.Analyze(temps)
 
-	arrival := make([]float64, len(nl.Blocks))
-	for i := range nl.Blocks {
-		switch nl.Blocks[i].Type {
-		case netlist.Input, netlist.FF, netlist.BRAM, netlist.DSP:
-			arrival[i] = a.sourceLaunch(i, temps)
-		}
-	}
-	for _, id := range a.order {
-		b := &nl.Blocks[id]
-		in := 0.0
-		for _, src := range b.Inputs {
-			if t := arrival[src] + a.netDelay(src, id, temps, nil); t > in {
-				in = t
-			}
-		}
-		if b.Type == netlist.LUT {
-			arrival[id] = in + a.Dev.Delay(lutKind, temps[a.PL.TileOf[id]])
-		} else {
-			arrival[id] = in
-		}
-	}
+	arrival, vals := a.forwardArrivals(temps)
 
 	required := make([]float64, len(nl.Blocks))
 	for i := range required {
@@ -53,29 +45,26 @@ func (a *Analyzer) Slacks(temps []float64) SlackReport {
 	}
 	// Endpoint requirements: arrivals into sequential elements must meet
 	// period − setup.
-	for i := range nl.Blocks {
-		b := &nl.Blocks[i]
-		switch b.Type {
-		case netlist.FF, netlist.BRAM, netlist.DSP:
-			req := rep.PeriodPs - a.Dev.FFSetup(temps[a.PL.TileOf[i]])
-			for _, src := range b.Inputs {
-				if r := req - a.netDelay(src, i, temps, nil); r < required[src] {
-					required[src] = r
-				}
+	for k := range c.endID {
+		if !c.endSeq[k] {
+			continue
+		}
+		req := rep.PeriodPs - a.Dev.FFSetup(temps[c.endTile[k]])
+		for e := c.endEdgeLo[k]; e < c.endEdgeLo[k+1]; e++ {
+			if r := req - a.edgeDelay(e, vals); r < required[c.edgeSrc[e]] {
+				required[c.edgeSrc[e]] = r
 			}
 		}
 	}
 	// Backward sweep over the combinational order.
-	for i := len(a.order) - 1; i >= 0; i-- {
-		id := a.order[i]
-		b := &nl.Blocks[id]
-		req := required[id]
-		if b.Type == netlist.LUT {
-			req -= a.Dev.Delay(lutKind, temps[a.PL.TileOf[id]])
+	for k := len(c.comboID) - 1; k >= 0; k-- {
+		req := required[c.comboID[k]]
+		if c.comboIsLUT[k] {
+			req -= a.Dev.Delay(lutKind, temps[c.comboTile[k]])
 		}
-		for _, src := range b.Inputs {
-			if r := req - a.netDelay(src, id, temps, nil); r < required[src] {
-				required[src] = r
+		for e := c.comboEdgeLo[k]; e < c.comboEdgeLo[k+1]; e++ {
+			if r := req - a.edgeDelay(e, vals); r < required[c.edgeSrc[e]] {
+				required[c.edgeSrc[e]] = r
 			}
 		}
 	}
@@ -118,56 +107,30 @@ type PathEntry struct {
 // by arrival (worst first) — the "report_timing" view of the design.
 func (a *Analyzer) TopPaths(temps []float64, k int) []PathEntry {
 	nl := a.NL
+	c := a.comp
 	rep := a.Analyze(temps)
 
-	arrival := make([]float64, len(nl.Blocks))
-	for i := range nl.Blocks {
-		switch nl.Blocks[i].Type {
-		case netlist.Input, netlist.FF, netlist.BRAM, netlist.DSP:
-			arrival[i] = a.sourceLaunch(i, temps)
-		}
-	}
-	for _, id := range a.order {
-		b := &nl.Blocks[id]
-		in := 0.0
-		for _, src := range b.Inputs {
-			if t := arrival[src] + a.netDelay(src, id, temps, nil); t > in {
-				in = t
-			}
-		}
-		if b.Type == netlist.LUT {
-			arrival[id] = in + a.Dev.Delay(lutKind, temps[a.PL.TileOf[id]])
-		} else {
-			arrival[id] = in
-		}
-	}
+	arrival, vals := a.forwardArrivals(temps)
 
+	// The compiled endpoint list is exactly the set of blocks the seed loop
+	// selected (Output/FF/BRAM/DSP with at least one input), in block-ID
+	// order.
 	var entries []PathEntry
-	for i := range nl.Blocks {
-		b := &nl.Blocks[i]
+	for j, id := range c.endID {
 		var at float64
-		switch b.Type {
-		case netlist.Output:
-			if len(b.Inputs) == 0 {
-				continue
-			}
-			at = arrival[i]
-		case netlist.FF, netlist.BRAM, netlist.DSP:
-			if len(b.Inputs) == 0 {
-				continue
-			}
+		if c.endSeq[j] {
 			worst := 0.0
-			for _, src := range b.Inputs {
-				if t := arrival[src] + a.netDelay(src, i, temps, nil); t > worst {
+			for e := c.endEdgeLo[j]; e < c.endEdgeLo[j+1]; e++ {
+				if t := arrival[c.edgeSrc[e]] + a.edgeDelay(e, vals); t > worst {
 					worst = t
 				}
 			}
-			at = worst + a.Dev.FFSetup(temps[a.PL.TileOf[i]])
-		default:
-			continue
+			at = worst + a.Dev.FFSetup(temps[c.endTile[j]])
+		} else {
+			at = arrival[id]
 		}
 		entries = append(entries, PathEntry{
-			Endpoint: i, Name: b.Name, ArrivalPs: at, SlackPs: rep.PeriodPs - at,
+			Endpoint: int(id), Name: nl.Blocks[id].Name, ArrivalPs: at, SlackPs: rep.PeriodPs - at,
 		})
 	}
 	sort.Slice(entries, func(i, j int) bool {

@@ -10,6 +10,7 @@ package sta
 
 import (
 	"fmt"
+	"sync"
 
 	"tafpga/internal/coffe"
 	"tafpga/internal/netlist"
@@ -28,12 +29,25 @@ type Analyzer struct {
 	RT  *route.Result
 
 	order []int
+	// comp is the flattened timing graph (see compile.go): device-free, so
+	// SetDevice keeps it. scratch pools the per-probe working vectors
+	// across concurrent Analyze calls.
+	comp    *compiled
+	scratch *sync.Pool
 }
 
-// New builds the analyzer. The device may be swapped later with SetDevice
-// (used when comparing corner-optimized fabrics on the same implementation).
+// New builds the analyzer, compiling the netlist + placement + routing into
+// the flat edge arrays every probe runs over. The device may be swapped
+// later with SetDevice (used when comparing corner-optimized fabrics on the
+// same implementation).
 func New(nl *netlist.Netlist, dev *coffe.Device, pl *place.Placement, rt *route.Result) *Analyzer {
-	return &Analyzer{NL: nl, Dev: dev, PL: pl, RT: rt, order: nl.ComboOrder()}
+	order := nl.ComboOrder()
+	comp := compile(nl, pl, rt, order)
+	return &Analyzer{
+		NL: nl, Dev: dev, PL: pl, RT: rt, order: order,
+		comp:    comp,
+		scratch: newScratchPool(len(nl.Blocks), len(comp.uniq)),
+	}
 }
 
 // SetDevice swaps the device characterization (same architecture, different
@@ -130,90 +144,64 @@ func (a *Analyzer) sourceLaunch(id int, temps []float64) float64 {
 }
 
 // Analyze runs the full-netlist probe at the given per-tile temperatures.
+// It sweeps the compiled edge arrays (see compile.go) — no map lookups, no
+// allocation beyond the returned report — and is numerically identical to
+// AnalyzeReference, the seed implementation it replaced.
 func (a *Analyzer) Analyze(temps []float64) Report {
-	nl := a.NL
-	arrival := make([]float64, len(nl.Blocks))
-	worstIn := make([]int, len(nl.Blocks)) // critical fan-in per block
-	for i := range worstIn {
-		worstIn[i] = -1
-	}
+	dev := a.Dev
+	c := a.comp
+	sc := a.getScratch()
+	defer a.scratch.Put(sc)
+	arrival, worstIn, worstEdge, vals := sc.arrival, sc.worstIn, sc.worstEdge, sc.termVal
 
-	// Source arrivals.
-	for i := range nl.Blocks {
-		switch nl.Blocks[i].Type {
-		case netlist.Input, netlist.FF, netlist.BRAM, netlist.DSP:
-			arrival[i] = a.sourceLaunch(i, temps)
-		}
-	}
+	a.fillTermVals(temps, vals)
+	a.seedArrivals(temps, arrival)
+	a.propagate(temps, arrival, vals, worstIn, worstEdge)
 
-	// Combinational propagation in topological order.
-	for _, id := range a.order {
-		b := &nl.Blocks[id]
-		in, inIdx := 0.0, -1
-		for _, src := range b.Inputs {
-			t := arrival[src] + a.netDelay(src, id, temps, nil)
-			if t > in {
-				in, inIdx = t, src
-			}
-		}
-		worstIn[id] = inIdx
-		if b.Type == netlist.LUT {
-			arrival[id] = in + a.Dev.Delay(coffe.LUTA, temps[a.PL.TileOf[id]])
-		} else {
-			arrival[id] = in // output pad
-		}
-	}
-
-	// Endpoint requirements.
+	// Endpoint requirements. The worst fan-in arc of the winning endpoint
+	// is recorded here so traceCritical never re-prices it.
 	rep := Report{Breakdown: map[coffe.ResourceKind]float64{}, CriticalEnd: -1}
-	endArrival := func(id int) float64 {
-		b := &nl.Blocks[id]
-		switch b.Type {
-		case netlist.Output:
-			return arrival[id]
-		case netlist.FF, netlist.BRAM, netlist.DSP:
+	critSrc, critEdge := int32(-1), int32(-1)
+	for k, id := range c.endID {
+		var at float64
+		wsrc, wedge := int32(-1), int32(-1)
+		if c.endSeq[k] {
 			worst := 0.0
-			for _, s := range b.Inputs {
-				if t := arrival[s] + a.netDelay(s, id, temps, nil); t > worst {
-					worst = t
+			for e := c.endEdgeLo[k]; e < c.endEdgeLo[k+1]; e++ {
+				if t := arrival[c.edgeSrc[e]] + a.edgeDelay(e, vals); t > worst {
+					worst, wsrc, wedge = t, c.edgeSrc[e], e
 				}
 			}
-			return worst + a.Dev.FFSetup(temps[a.PL.TileOf[id]])
+			at = worst + dev.FFSetup(temps[c.endTile[k]])
+		} else {
+			at = arrival[id]
 		}
-		return 0
-	}
-	for i := range nl.Blocks {
-		switch nl.Blocks[i].Type {
-		case netlist.Output, netlist.FF, netlist.BRAM, netlist.DSP:
-			if len(nl.Blocks[i].Inputs) == 0 {
-				continue
-			}
-			if t := endArrival(i); t > rep.PeriodPs {
-				rep.PeriodPs = t
-				rep.CriticalEnd = i
-			}
+		if at > rep.PeriodPs {
+			rep.PeriodPs = at
+			rep.CriticalEnd = int(id)
+			critSrc, critEdge = wsrc, wedge
 		}
 	}
 	// Hard-block internal stage constraints: the DSP's registered multiply
 	// stage bounds the period on its own.
-	for i := range nl.Blocks {
-		if nl.Blocks[i].Type == netlist.DSP {
-			if t := a.Dev.Delay(coffe.DSP, temps[a.PL.TileOf[i]]); t > rep.PeriodPs {
-				rep.PeriodPs = t
-				rep.CriticalEnd = i
-			}
+	for k, id := range c.dspID {
+		if t := dev.Delay(coffe.DSP, temps[c.dspTile[k]]); t > rep.PeriodPs {
+			rep.PeriodPs = t
+			rep.CriticalEnd = int(id)
+			critSrc, critEdge = -1, -1
 		}
 	}
 
 	if rep.PeriodPs > 0 {
 		rep.FmaxMHz = 1e6 / rep.PeriodPs
 	}
-	a.traceCritical(&rep, arrival, worstIn, temps)
+	a.traceCritical(&rep, worstIn, worstEdge, critSrc, critEdge, temps)
 	return rep
 }
 
-// traceCritical reconstructs the critical path and fills the breakdown.
-func (a *Analyzer) traceCritical(rep *Report, arrival []float64, worstIn []int, temps []float64) {
+// traceCritical reconstructs the critical path and fills the breakdown from
+// the compiled arcs and the worst fan-ins recorded during the probe.
+func (a *Analyzer) traceCritical(rep *Report, worstIn, worstEdge []int32, critSrc, critEdge int32, temps []float64) {
 	if rep.CriticalEnd < 0 {
 		return
 	}
@@ -229,35 +217,22 @@ func (a *Analyzer) traceCritical(rep *Report, arrival []float64, worstIn []int, 
 		}
 	}
 
-	// Find the worst fan-in edge into the endpoint.
-	cur := end
+	// Enter the path through the endpoint's worst fan-in arc, already
+	// found by Analyze's endpoint scan.
+	var cur int32
 	if b.Type != netlist.Output {
-		worst, wsrc := 0.0, -1
-		for _, s := range b.Inputs {
-			if t := arrival[s] + a.netDelay(s, end, temps, nil); t > worst {
-				worst, wsrc = t, s
-			}
-		}
 		rep.Sequential += a.Dev.FFSetup(temps[a.PL.TileOf[end]])
-		if wsrc < 0 {
+		if critSrc < 0 {
 			return
 		}
-		var hops []route.Hop
-		a.netDelay(wsrc, end, temps, &hops)
-		for _, h := range hops {
-			rep.Breakdown[h.Kind] += a.Dev.Delay(h.Kind, temps[h.Tile])
-		}
-		cur = wsrc
+		a.addEdgeBreakdown(critEdge, temps, rep)
+		cur = critSrc
 	} else {
 		cur = worstIn[end]
 		if cur < 0 {
 			return
 		}
-		var hops []route.Hop
-		a.netDelay(cur, end, temps, &hops)
-		for _, h := range hops {
-			rep.Breakdown[h.Kind] += a.Dev.Delay(h.Kind, temps[h.Tile])
-		}
+		a.addEdgeBreakdown(worstEdge[end], temps, rep)
 	}
 
 	for cur >= 0 {
@@ -267,11 +242,7 @@ func (a *Analyzer) traceCritical(rep *Report, arrival []float64, worstIn []int, 
 			rep.Breakdown[coffe.LUTA] += a.Dev.Delay(coffe.LUTA, temps[a.PL.TileOf[cur]])
 			prev := worstIn[cur]
 			if prev >= 0 {
-				var hops []route.Hop
-				a.netDelay(prev, cur, temps, &hops)
-				for _, h := range hops {
-					rep.Breakdown[h.Kind] += a.Dev.Delay(h.Kind, temps[h.Tile])
-				}
+				a.addEdgeBreakdown(worstEdge[cur], temps, rep)
 			}
 			cur = prev
 		case netlist.FF, netlist.DSP:

@@ -1,0 +1,85 @@
+#!/bin/sh
+# bench.sh — run the Algorithm-1 inner-loop benchmarks and emit
+# BENCH_inner_loop.json with before/after (Reference vs optimized) pairs.
+#
+# Usage:
+#   scripts/bench.sh [count]      # benchmark repetitions (default 3)
+#
+# Environment:
+#   OUT=path    output JSON (default BENCH_inner_loop.json in the repo root)
+#   BENCHTIME=  go test -benchtime value (default 10x)
+#
+# The optimized and seed kernels live in the same binary (Analyze vs
+# AnalyzeReference, Solve vs SolveReference, Options.Reference), so every
+# pair below is measured by one build on one machine.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-3}"
+BENCHTIME="${BENCHTIME:-10x}"
+OUT="${OUT:-BENCH_inner_loop.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running inner-loop benchmarks (count=$COUNT, benchtime=$BENCHTIME)..." >&2
+go test -run '^$' \
+  -bench 'BenchmarkHotspotSolve|BenchmarkSTAAnalyze|BenchmarkSTASlacks|BenchmarkGuardbandRun' \
+  -benchmem -benchtime="$BENCHTIME" -count="$COUNT" . | tee "$RAW" >&2
+
+awk -v count="$COUNT" -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)       # strip -GOMAXPROCS suffix
+    sub(/^Benchmark/, "", name)
+    ns[name] += $3; runs[name]++
+    for (i = 4; i < NF; i++) if ($(i+1) == "B/op") bop[name] += $i
+}
+/^(goos|goarch|pkg|cpu):/ { meta[$1] = $2 }
+END {
+    printf "{\n"
+    printf "  \"suite\": \"inner_loop\",\n"
+    printf "  \"subject\": \"mcml (largest bundled benchmark) at the shared harness scale\",\n"
+    printf "  \"goos\": \"%s\",\n", meta["goos:"]
+    printf "  \"goarch\": \"%s\",\n", meta["goarch:"]
+    printf "  \"count\": %d,\n", count
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": {\n"
+    n = 0
+    for (k in ns) order[++n] = k
+    # stable output: simple insertion sort by name
+    for (i = 2; i <= n; i++) {
+        v = order[i]
+        for (j = i - 1; j >= 1 && order[j] > v; j--) order[j+1] = order[j]
+        order[j+1] = v
+    }
+    for (i = 1; i <= n; i++) {
+        k = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f}%s\n", \
+            k, ns[k]/runs[k], bop[k]/runs[k], (i < n ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"speedups\": {\n"
+    m = 0
+    pairs["HotspotSolve"] = "HotspotSolveReference"
+    pairs["HotspotSolveIterative"] = "HotspotSolveReference"
+    pairs["STAAnalyze"] = "STAAnalyzeReference"
+    pairs["GuardbandRun"] = "GuardbandRunReference"
+    for (k in pairs) porder[++m] = k
+    for (i = 2; i <= m; i++) {
+        v = porder[i]
+        for (j = i - 1; j >= 1 && porder[j] > v; j--) porder[j+1] = porder[j]
+        porder[j+1] = v
+    }
+    for (i = 1; i <= m; i++) {
+        a = porder[i]; r = pairs[a]
+        if (runs[a] && runs[r]) {
+            printf "    \"%s\": {\"before_ns\": %.1f, \"after_ns\": %.1f, \"speedup\": %.2f}%s\n", \
+                a, ns[r]/runs[r], ns[a]/runs[a], (ns[r]/runs[r])/(ns[a]/runs[a]), (i < m ? "," : "")
+        }
+    }
+    printf "  }\n"
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
