@@ -12,6 +12,8 @@
 //	-bench csv  restrict Fig. 6/7/8 to a comma-separated benchmark list
 //	-csv dir    also write machine-readable CSVs into dir
 //	-parallel n benchmark fan-out workers (0 = GOMAXPROCS, 1 = serial)
+//	-flowcache d   cache place-and-route results in directory d so repeated
+//	               invocations skip the implementation front-end
 //	-cpuprofile f  write a CPU profile of the run to f (go tool pprof)
 //	-memprofile f  write a heap profile at exit to f
 //
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"tafpga/internal/experiments"
+	"tafpga/internal/flow"
 )
 
 func main() {
@@ -42,6 +45,7 @@ func main() {
 	benchCSV := flag.String("bench", "", "comma-separated benchmark subset")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	parallel := flag.Int("parallel", 0, "benchmark fan-out workers (0 = GOMAXPROCS, 1 = serial)")
+	flowcache := flag.String("flowcache", "", "directory for the on-disk place-and-route cache (reused across runs)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
 	flag.Parse()
@@ -84,6 +88,9 @@ func main() {
 	ctx.ChannelTracks = *width
 	ctx.PlaceEffort = *effort
 	ctx.Workers = *parallel
+	if *flowcache != "" {
+		ctx.FlowCache = flow.NewCache(*flowcache)
+	}
 	if *benchCSV != "" {
 		ctx.Benchmarks = strings.Split(*benchCSV, ",")
 	}

@@ -22,6 +22,9 @@
 //	-sweep spec   guardband an ambient sweep instead of one point:
 //	              "lo:hi:step" (e.g. 0:100:10) or a comma list (e.g. 25,45,70)
 //	-parallel n   sweep workers (0 = GOMAXPROCS, 1 = serial)
+//	-flowcache d  cache place-and-route results in directory d, keyed by
+//	              netlist/arch/seed/effort/router content, so repeated
+//	              invocations skip the implementation front-end
 //	-cpuprofile f write a CPU profile of the run to f (go tool pprof)
 //	-memprofile f write a heap profile at exit to f
 package main
@@ -60,6 +63,7 @@ func main() {
 	paths := flag.Int("paths", 0, "report the N worst timing endpoints")
 	powerRep := flag.Bool("power", false, "report the power breakdown at the converged operating point")
 	sweep := flag.String("sweep", "", `ambient sweep: "lo:hi:step" or comma list of °C`)
+	flowcache := flag.String("flowcache", "", "directory for the on-disk place-and-route cache (reused across runs)")
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
@@ -151,9 +155,16 @@ func main() {
 	} else {
 		opts.Seed = bench.SeedFor(name)
 	}
+	if *flowcache != "" {
+		opts.Cache = flow.NewCache(*flowcache)
+	}
 	im, err := tafpga.Implement(nl, dev, opts)
 	die(err)
-	fmt.Printf("implemented on %s (router: %d iterations, %s)\n", im.Grid, im.Routed.Iters, im.Routed.Graph)
+	if im.Routed.Graph != nil {
+		fmt.Printf("implemented on %s (router: %d iterations, %s)\n", im.Grid, im.Routed.Iters, im.Routed.Graph)
+	} else {
+		fmt.Printf("implemented on %s (router: %d iterations, from flow cache)\n", im.Grid, im.Routed.Iters)
+	}
 
 	if *sweep != "" {
 		runSweep(im, ambients, *parallel)

@@ -1,0 +1,192 @@
+// Front-end perf-regression benchmarks: the implementation pipeline stages
+// the flow-level result cache short-circuits — timing-driven placement,
+// PathFinder routing, and the complete pack→place→route build — each
+// measured in its optimized form and against the retained seed
+// implementation (PlaceReference, RouteReference, Options.Reference) in the
+// same binary, so before/after speedups come from one build:
+//
+//	scripts/bench.sh flow    # runs these and emits BENCH_flow.json
+//
+// The subject is mcml, the largest bundled benchmark, at the shared harness
+// scale — the same fixture the inner-loop benchmarks use.
+package tafpga_test
+
+import (
+	"sync"
+	"testing"
+
+	"tafpga/internal/arch"
+	"tafpga/internal/bench"
+	"tafpga/internal/coffe"
+	"tafpga/internal/flow"
+	"tafpga/internal/netlist"
+	"tafpga/internal/pack"
+	"tafpga/internal/place"
+	"tafpga/internal/route"
+)
+
+type frontendFixture struct {
+	nl     *netlist.Netlist
+	dev    *coffe.Device
+	packed *pack.Result
+	grid   *arch.Grid
+	graph  *route.Graph
+	placed *place.Placement
+	opts   flow.Options
+}
+
+var (
+	frontOnce sync.Once
+	front     frontendFixture
+	frontErr  error
+)
+
+// frontendSetup prepares the mcml front-end inputs once: the generated
+// netlist, the packed design, the grid and routing graph, and one placement
+// to route. The flow options mirror the shared harness context (effort 0.5,
+// Table I channel width).
+func frontendSetup(b *testing.B) frontendFixture {
+	b.Helper()
+	frontOnce.Do(func() {
+		frontErr = func() error {
+			ctx := sharedContext(b)
+			dev, err := ctx.Device(25)
+			if err != nil {
+				return err
+			}
+			prof, err := bench.ByName("mcml")
+			if err != nil {
+				return err
+			}
+			nl, err := bench.Generate(prof.Scaled(benchScale), bench.SeedFor("mcml"))
+			if err != nil {
+				return err
+			}
+			packed, err := pack.Pack(nl, dev.Arch.N, dev.Arch.ClusterInputs)
+			if err != nil {
+				return err
+			}
+			params := dev.Arch
+			if benchWidth > 0 {
+				params.ChannelTracks = benchWidth
+			}
+			grid, err := arch.Build(params, len(packed.Clusters), len(packed.BRAMs), len(packed.DSPs))
+			if err != nil {
+				return err
+			}
+			placed, err := place.Place(packed, grid, bench.SeedFor("mcml"), 0.5)
+			if err != nil {
+				return err
+			}
+			opts := flow.DefaultOptions()
+			opts.Seed = bench.SeedFor("mcml")
+			opts.PlaceEffort = 0.5
+			opts.ChannelTracks = benchWidth
+			opts.PIDensity = prof.PIDensity
+			front = frontendFixture{
+				nl: nl, dev: dev, packed: packed, grid: grid,
+				graph: route.BuildGraph(grid), placed: placed, opts: opts,
+			}
+			return nil
+		}()
+	})
+	if frontErr != nil {
+		b.Fatal(frontErr)
+	}
+	return front
+}
+
+// BenchmarkPlace measures the incremental-cost annealer.
+func BenchmarkPlace(b *testing.B) {
+	f := frontendSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := place.Place(f.packed, f.grid, bench.SeedFor("mcml"), 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlaceReference measures the seed annealer (full per-move HPWL
+// recompute) — the "before" number placement speedups are quoted against.
+func BenchmarkPlaceReference(b *testing.B) {
+	f := frontendSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := place.PlaceReference(f.packed, f.grid, bench.SeedFor("mcml"), 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoute measures the pooled CSR PathFinder on a prebuilt graph.
+func BenchmarkRoute(b *testing.B) {
+	f := frontendSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.Route(f.placed, f.graph, f.opts.Router); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteReference measures the seed router (map-backed trees,
+// per-target frontier allocation).
+func BenchmarkRouteReference(b *testing.B) {
+	f := frontendSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.RouteReference(f.placed, f.graph, f.opts.Router); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlowBuild measures the complete cold-cache implementation build
+// (activity → pack → grid → place → route → model assembly) with the
+// optimized front-end.
+func BenchmarkFlowBuild(b *testing.B) {
+	f := frontendSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.Implement(f.nl, f.dev, f.opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlowBuildReference measures the same build forced onto the seed
+// placer and router — the "before" half of the front-end harness.
+func BenchmarkFlowBuildReference(b *testing.B) {
+	f := frontendSetup(b)
+	opts := f.opts
+	opts.Reference = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.Implement(f.nl, f.dev, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlowBuildCached measures the warm-cache path: place and route are
+// served from the in-memory flow cache, leaving only activity estimation,
+// packing, grid construction, restore, and model assembly.
+func BenchmarkFlowBuildCached(b *testing.B) {
+	f := frontendSetup(b)
+	opts := f.opts
+	opts.Cache = flow.NewCache("")
+	if _, err := flow.Implement(f.nl, f.dev, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im, err := flow.Implement(f.nl, f.dev, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if im.Routed.Graph != nil {
+			b.Fatal("warm iteration missed the cache")
+		}
+	}
+}

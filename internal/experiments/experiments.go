@@ -52,6 +52,13 @@ type Context struct {
 	// the suite drivers finish it (calls are serialized, completion order).
 	OnBenchDone func(name string, elapsed time.Duration)
 
+	// FlowCache, when set, memoizes place-and-route by content key (see
+	// flow.Cache). It complements the per-name singleflight below: the
+	// singleflight dedups concurrent requests within this context, while
+	// the flow cache persists results across contexts and — with an
+	// on-disk directory — across process runs.
+	FlowCache *flow.Cache
+
 	mu    sync.Mutex
 	impls map[string]*implEntry
 }
@@ -149,6 +156,7 @@ func (c *Context) implement(name string) (*flow.Implementation, error) {
 	opts.ChannelTracks = c.ChannelTracks
 	opts.PIDensity = p.PIDensity
 	opts.Router = route.DefaultOptions()
+	opts.Cache = c.FlowCache
 	im, err := flow.Implement(nl, dev, opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", name, err)
@@ -356,6 +364,40 @@ func (c *Context) guardbandSuite(ambientC float64) ([]BenchResult, error) {
 			Stats:     res.Stats,
 		}, nil
 	})
+}
+
+// GuardbandSweep runs Algorithm 1 on one benchmark at each ambient in order
+// (the Fig. 6 → Fig. 7 → Fig. 8 temperature axis), warm-starting every
+// ambient's first thermal solve from the previous ambient's converged solver
+// output. The warm start cannot change any reported number — the default
+// direct solver ignores the seed and the iterative fallback converges to the
+// same fixed tolerance — so the results are bit-identical to len(ambients)
+// independent Guardband calls; only Stats.ThermalSweeps (fallback work)
+// differs. One result per ambient, in sweep order.
+func (c *Context) GuardbandSweep(name string, ambients []float64) ([]BenchResult, error) {
+	im, err := c.Implementation(name)
+	if err != nil {
+		return nil, err
+	}
+	var seed []float64
+	out := make([]BenchResult, 0, len(ambients))
+	for _, amb := range ambients {
+		opts := guardband.DefaultOptions(amb)
+		opts.ThermalSeed = seed
+		res, err := im.Guardband(opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s at %g°C: %w", name, amb, err)
+		}
+		seed = res.SeedTemps
+		out = append(out, BenchResult{
+			Name: name, GainPct: res.GainPct,
+			FmaxMHz: res.FmaxMHz, BaselineMHz: res.BaselineMHz,
+			Iterations: res.Iterations, RiseC: res.RiseC, SpreadC: res.SpreadC,
+			Converged: res.Converged,
+			Stats:     res.Stats,
+		})
+	}
+	return out, nil
 }
 
 // Fig6 reproduces "Performance gain of thermal-aware guardbanding at

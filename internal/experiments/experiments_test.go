@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tafpga/internal/coffe"
+	"tafpga/internal/guardband"
 )
 
 var (
@@ -228,6 +229,45 @@ func TestAblations(t *testing.T) {
 	}
 	if FormatAblation("t", lf) == "" {
 		t.Error("formatting broken")
+	}
+}
+
+// TestGuardbandSweepInvariance: the warm-started ambient sweep must be
+// bit-identical to independent Guardband runs at each ambient — the seed is
+// a pure accelerator, never a result input.
+func TestGuardbandSweepInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-flow experiment")
+	}
+	c := testContext(t)
+	ambients := []float64{25, 45, 70}
+	swept, err := c.GuardbandSweep("sha", ambients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != len(ambients) {
+		t.Fatalf("expected %d results, got %d", len(ambients), len(swept))
+	}
+	im, err := c.Implementation("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, amb := range ambients {
+		cold, err := im.Guardband(guardband.DefaultOptions(amb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := swept[i]
+		if r.FmaxMHz != cold.FmaxMHz || r.BaselineMHz != cold.BaselineMHz ||
+			r.Iterations != cold.Iterations || r.RiseC != cold.RiseC ||
+			r.SpreadC != cold.SpreadC || r.Converged != cold.Converged {
+			t.Fatalf("sweep at %g°C diverged from cold run:\nswept %+v\ncold  fmax=%g base=%g iters=%d rise=%g spread=%g conv=%t",
+				amb, r, cold.FmaxMHz, cold.BaselineMHz, cold.Iterations, cold.RiseC, cold.SpreadC, cold.Converged)
+		}
+	}
+	// Hotter ambients must clock lower — the sweep is ordered.
+	if !(swept[0].FmaxMHz > swept[1].FmaxMHz && swept[1].FmaxMHz > swept[2].FmaxMHz) {
+		t.Fatalf("sweep clocks not ordered by ambient: %+v", swept)
 	}
 }
 

@@ -1,0 +1,213 @@
+package flow
+
+// cache.go is the flow-level implementation cache: place-and-route is fully
+// deterministic in (netlist content, architecture parameters, seed, effort,
+// router options), so its result can be memoized under a content key and
+// replayed across sweeps and CLI invocations. Entries live in memory and,
+// when a directory is configured, on disk as gob files named by the key.
+// The cache is strictly best-effort: any I/O failure, decode failure, or
+// shape mismatch (a corrupt or stale entry) is treated as a miss and the
+// flow falls back to a fresh build.
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"tafpga/internal/arch"
+	"tafpga/internal/coffe"
+	"tafpga/internal/netlist"
+	"tafpga/internal/pack"
+	"tafpga/internal/place"
+	"tafpga/internal/route"
+)
+
+// Cache memoizes placement and routing results by content key. A nil
+// *Cache is valid and disables caching. Safe for concurrent use.
+type Cache struct {
+	mu  sync.Mutex
+	mem map[string]*cachePayload
+	dir string
+}
+
+// NewCache returns an implementation cache. dir is the optional on-disk
+// spill directory (created on first store); empty keeps the cache
+// memory-only.
+func NewCache(dir string) *Cache {
+	return &Cache{mem: map[string]*cachePayload{}, dir: dir}
+}
+
+// cachedPath is one sink's hop list inside a cached net.
+type cachedPath struct {
+	Sink int
+	Hops []route.Hop
+}
+
+// cachedNet is one routed net, with paths sorted by sink for a canonical
+// encoding.
+type cachedNet struct {
+	Driver       int
+	WireLenTiles int
+	Paths        []cachedPath
+}
+
+// cachePayload is the durable part of one implementation: everything the
+// downstream models (STA, power, thermal) read from placement and routing.
+type cachePayload struct {
+	TileOf []int
+	Cost   float64
+	Iters  int
+	MaxOcc int
+	Nets   []cachedNet
+}
+
+// cacheKey hashes what place-and-route actually depends on: the netlist
+// content (its BLIF serialization), the architecture parameters after any
+// ChannelTracks override, the placement seed and effort, and the router
+// schedule. Activity estimation (PIDensity) and the device's thermal corner
+// are deliberately excluded — neither influences which tiles and wires the
+// implementation uses, and both are recomputed on a hit.
+func cacheKey(nl *netlist.Netlist, params coffe.Params, opts Options) (string, error) {
+	h := sha256.New()
+	if err := nl.WriteBLIF(h); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(h, "|arch:%+v|seed:%d|effort:%g|router:%+v",
+		params, opts.Seed, opts.PlaceEffort, opts.Router)
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// snapshot captures a freshly built placement and routing as a payload.
+func snapshot(placed *place.Placement, routed *route.Result) *cachePayload {
+	p := &cachePayload{
+		TileOf: placed.TileOf,
+		Cost:   placed.Cost,
+		Iters:  routed.Iters,
+		MaxOcc: routed.MaxOcc,
+	}
+	drivers := make([]int, 0, len(routed.Nets))
+	for d := range routed.Nets {
+		drivers = append(drivers, d)
+	}
+	sort.Ints(drivers)
+	for _, d := range drivers {
+		nr := routed.Nets[d]
+		cn := cachedNet{Driver: d, WireLenTiles: nr.WireLenTiles}
+		sinks := make([]int, 0, len(nr.Paths))
+		for s := range nr.Paths {
+			sinks = append(sinks, s)
+		}
+		sort.Ints(sinks)
+		for _, s := range sinks {
+			cn.Paths = append(cn.Paths, cachedPath{Sink: s, Hops: nr.Paths[s]})
+		}
+		p.Nets = append(p.Nets, cn)
+	}
+	return p
+}
+
+// restore rebuilds Placement and route.Result views over the payload for
+// the current netlist/grid/packing. It reports false when the payload does
+// not fit the design (a corrupt or stale entry), in which case the caller
+// rebuilds from scratch. The restored route.Result carries a nil Graph:
+// the downstream models never read it, and skipping RRG construction is a
+// large part of the cache's win.
+func (p *cachePayload) restore(nl *netlist.Netlist, grid *arch.Grid, packed *pack.Result) (*place.Placement, *route.Result, bool) {
+	if len(p.TileOf) != len(nl.Blocks) {
+		return nil, nil, false
+	}
+	for _, t := range p.TileOf {
+		if t < -1 || t >= grid.NumTiles() {
+			return nil, nil, false
+		}
+	}
+	placed := &place.Placement{Grid: grid, Packed: packed, TileOf: p.TileOf, Cost: p.Cost}
+	routed := &route.Result{Place: placed, Nets: map[int]*route.NetRoute{}, Iters: p.Iters, MaxOcc: p.MaxOcc}
+	for _, cn := range p.Nets {
+		if cn.Driver < 0 || cn.Driver >= len(nl.Blocks) {
+			return nil, nil, false
+		}
+		nr := &route.NetRoute{Driver: cn.Driver, Paths: map[int][]route.Hop{}, WireLenTiles: cn.WireLenTiles}
+		for _, cp := range cn.Paths {
+			if cp.Sink < 0 || cp.Sink >= len(nl.Blocks) {
+				return nil, nil, false
+			}
+			for _, hop := range cp.Hops {
+				if hop.Tile < 0 || hop.Tile >= grid.NumTiles() {
+					return nil, nil, false
+				}
+			}
+			nr.Paths[cp.Sink] = cp.Hops
+		}
+		routed.Nets[cn.Driver] = nr
+	}
+	return placed, routed, true
+}
+
+// lookup returns the cached payload for a key, consulting memory first and
+// then the spill directory. Disk entries that fail to decode are a miss.
+func (c *Cache) lookup(key string) (*cachePayload, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	p, ok := c.mem[key]
+	c.mu.Unlock()
+	if ok {
+		return p, true
+	}
+	if c.dir == "" {
+		return nil, false
+	}
+	f, err := os.Open(filepath.Join(c.dir, key+".gob"))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	p = &cachePayload{}
+	if err := gob.NewDecoder(f).Decode(p); err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.mem[key] = p
+	c.mu.Unlock()
+	return p, true
+}
+
+// store records a payload in memory and, when configured, on disk. Disk
+// writes go through a temp file + rename so a concurrent reader never sees
+// a torn entry; failures are silently dropped (the cache stays best-effort).
+func (c *Cache) store(key string, p *cachePayload) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.mem[key] = p
+	c.mu.Unlock()
+	if c.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	if err := gob.NewEncoder(tmp).Encode(p); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, key+".gob")); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

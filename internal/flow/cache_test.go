@@ -1,0 +1,207 @@
+package flow
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tafpga/internal/bench"
+	"tafpga/internal/guardband"
+)
+
+// implementCached runs Implement with a cache attached.
+func implementCached(t *testing.T, name string, scale float64, c *Cache) *Implementation {
+	t.Helper()
+	d, _ := devices(t)
+	prof, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := bench.Generate(prof.Scaled(scale), bench.SeedFor(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions(name)
+	opts.Cache = c
+	im, err := Implement(nl, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// requireSameGuardband runs Algorithm 1 on both implementations and demands
+// identical results — the cache must be invisible to every downstream
+// number.
+func requireSameGuardband(t *testing.T, a, b *Implementation) {
+	t.Helper()
+	ra, err := a.Guardband(guardband.DefaultOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Guardband(guardband.DefaultOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.FmaxMHz != rb.FmaxMHz || ra.BaselineMHz != rb.BaselineMHz || ra.Iterations != rb.Iterations {
+		t.Fatalf("cached implementation diverges: %g/%g/%d vs %g/%g/%d",
+			ra.FmaxMHz, ra.BaselineMHz, ra.Iterations, rb.FmaxMHz, rb.BaselineMHz, rb.Iterations)
+	}
+}
+
+func TestFlowCacheMemoryHit(t *testing.T) {
+	c := NewCache("")
+	fresh := implementCached(t, "sha", 1.0/64, c)
+	if fresh.Routed.Graph == nil {
+		t.Fatal("first build must be a miss (fresh RRG)")
+	}
+	hit := implementCached(t, "sha", 1.0/64, c)
+	if hit.Routed.Graph != nil {
+		t.Fatal("second build must be served from the cache (nil Graph)")
+	}
+	if hit.Placed.Cost != fresh.Placed.Cost {
+		t.Fatalf("cached cost %g != fresh %g", hit.Placed.Cost, fresh.Placed.Cost)
+	}
+	for i := range fresh.Placed.TileOf {
+		if hit.Placed.TileOf[i] != fresh.Placed.TileOf[i] {
+			t.Fatalf("cached TileOf diverges at block %d", i)
+		}
+	}
+	requireSameGuardband(t, fresh, hit)
+}
+
+func TestFlowCacheKeyDiscriminates(t *testing.T) {
+	c := NewCache("")
+	implementCached(t, "sha", 1.0/64, c)
+
+	// A different seed must miss.
+	d, _ := devices(t)
+	prof, err := bench.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := bench.Generate(prof.Scaled(1.0/64), bench.SeedFor("sha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions("sha")
+	opts.Cache = c
+	opts.Seed++
+	im, err := Implement(nl, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Routed.Graph == nil {
+		t.Fatal("different seed must not hit the cache")
+	}
+
+	// A different benchmark must miss.
+	other := implementCached(t, "raygentop", 1.0/64, c)
+	if other.Routed.Graph == nil {
+		t.Fatal("different netlist must not hit the cache")
+	}
+}
+
+func TestFlowCacheDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fresh := implementCached(t, "sha", 1.0/64, NewCache(dir))
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("expected exactly one cache file, got %v (%v)", files, err)
+	}
+
+	// A brand-new Cache over the same directory must hit from disk.
+	hit := implementCached(t, "sha", 1.0/64, NewCache(dir))
+	if hit.Routed.Graph != nil {
+		t.Fatal("fresh process over the same directory must hit the on-disk entry")
+	}
+	requireSameGuardband(t, fresh, hit)
+}
+
+// TestFlowCacheCorruptEntryFallsBack writes garbage over the on-disk entry:
+// the next lookup must silently miss and rebuild, not error out.
+func TestFlowCacheCorruptEntryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	fresh := implementCached(t, "sha", 1.0/64, NewCache(dir))
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("expected exactly one cache file, got %v (%v)", files, err)
+	}
+	if err := os.WriteFile(files[0], []byte("not a gob payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rebuilt := implementCached(t, "sha", 1.0/64, NewCache(dir))
+	if rebuilt.Routed.Graph == nil {
+		t.Fatal("corrupt entry must fall back to a fresh build")
+	}
+	requireSameGuardband(t, fresh, rebuilt)
+
+	// Truncated-but-valid-prefix corruption: decode succeeds or fails, but
+	// either way the flow must still produce a correct implementation.
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again := implementCached(t, "sha", 1.0/64, NewCache(dir))
+	requireSameGuardband(t, fresh, again)
+}
+
+// TestFlowReferenceMatchesOptimized is the flow-level equivalence check:
+// the Reference path (seed placer + seed router) and the optimized path
+// must produce identical placements, routings, and guardband results.
+func TestFlowReferenceMatchesOptimized(t *testing.T) {
+	d, _ := devices(t)
+	prof, err := bench.ByName("raygentop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := bench.Generate(prof.Scaled(1.0/32), bench.SeedFor("raygentop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions("raygentop")
+	fast, err := Implement(nl, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Reference = true
+	ref, err := Implement(nl, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Placed.Cost != ref.Placed.Cost {
+		t.Fatalf("placement cost diverged: %v vs %v", fast.Placed.Cost, ref.Placed.Cost)
+	}
+	for i := range ref.Placed.TileOf {
+		if fast.Placed.TileOf[i] != ref.Placed.TileOf[i] {
+			t.Fatalf("TileOf diverged at block %d", i)
+		}
+	}
+	if fast.Routed.Iters != ref.Routed.Iters || fast.Routed.MaxOcc != ref.Routed.MaxOcc {
+		t.Fatal("routing metadata diverged")
+	}
+	for dd, rn := range ref.Routed.Nets {
+		gn := fast.Routed.Nets[dd]
+		if gn == nil || gn.WireLenTiles != rn.WireLenTiles || len(gn.Paths) != len(rn.Paths) {
+			t.Fatalf("net %d diverged", dd)
+		}
+		for s, rp := range rn.Paths {
+			gp := gn.Paths[s]
+			if len(gp) != len(rp) {
+				t.Fatalf("net %d→%d path length diverged", dd, s)
+			}
+			for i := range rp {
+				if gp[i] != rp[i] {
+					t.Fatalf("net %d→%d hop %d diverged", dd, s, i)
+				}
+			}
+		}
+	}
+	requireSameGuardband(t, fast, ref)
+}

@@ -37,6 +37,17 @@ type Options struct {
 	// use smaller widths to keep graphs small; the device timing model is
 	// unaffected.
 	ChannelTracks int
+	// Cache, if non-nil, memoizes place-and-route results by content key
+	// (netlist, architecture, seed, effort, router options) so repeated
+	// sweeps and CLI invocations skip the front-end entirely. On a hit the
+	// returned Implementation carries a nil Routed.Graph — the downstream
+	// models never read it.
+	Cache *Cache
+	// Reference routes the flow through the retained seed implementations
+	// (place.PlaceReference, route.RouteReference) and bypasses the cache:
+	// the honest "before" half of the front-end benchmarks and the flow-
+	// level equivalence tests.
+	Reference bool
 }
 
 // DefaultOptions returns the standard flow settings.
@@ -80,17 +91,44 @@ func Implement(nl *netlist.Netlist, dev *coffe.Device, opts Options) (*Implement
 		return nil, fmt.Errorf("flow: grid: %w", err)
 	}
 
-	placed, err := place.Place(packed, grid, opts.Seed, opts.PlaceEffort)
+	var key string
+	if opts.Cache != nil && !opts.Reference {
+		if k, err := cacheKey(nl, params, opts); err == nil {
+			key = k
+			if pay, ok := opts.Cache.lookup(key); ok {
+				if placed, routed, ok := pay.restore(nl, grid, packed); ok {
+					return assemble(nl, dev, grid, packed, placed, routed, act)
+				}
+			}
+		}
+	}
+
+	placeFn, routeFn := place.Place, route.Route
+	if opts.Reference {
+		placeFn, routeFn = place.PlaceReference, route.RouteReference
+	}
+	placed, err := placeFn(packed, grid, opts.Seed, opts.PlaceEffort)
 	if err != nil {
 		return nil, fmt.Errorf("flow: place: %w", err)
 	}
 
 	graph := BuildGraph(grid)
-	routed, err := route.Route(placed, graph, opts.Router)
+	routed, err := routeFn(placed, graph, opts.Router)
 	if err != nil {
 		return nil, fmt.Errorf("flow: route: %w", err)
 	}
+	if key != "" {
+		opts.Cache.store(key, snapshot(placed, routed))
+	}
 
+	return assemble(nl, dev, grid, packed, placed, routed, act)
+}
+
+// assemble builds the downstream analysis models over a placement and
+// routing — freshly built or restored from the cache — and bundles the
+// Implementation.
+func assemble(nl *netlist.Netlist, dev *coffe.Device, grid *arch.Grid, packed *pack.Result,
+	placed *place.Placement, routed *route.Result, act []activity.Stats) (*Implementation, error) {
 	an := sta.New(nl, dev, placed, routed)
 	pm := power.New(dev, nl, placed, routed, act)
 	th, err := hotspot.NewModel(grid.W, grid.H, pm.BasePowerUW(25))

@@ -42,6 +42,13 @@ type Options struct {
 	// without warm starting): the "before" half of the perf-regression
 	// harness and the golden path the equivalence tests compare against.
 	Reference bool
+	// ThermalSeed, when non-nil, warm-starts the first iteration's thermal
+	// solve (typically the SeedTemps of a run at a nearby ambient). The
+	// default direct solver ignores the seed entirely, and the iterative
+	// fallback converges to the same fixed tolerance, so results are
+	// identical either way — only the sweep count changes. Ignored under
+	// Reference.
+	ThermalSeed []float64
 }
 
 // DefaultOptions returns the paper's experimental settings.
@@ -77,6 +84,10 @@ type Result struct {
 	// Stats accounts the kernel work (probes, solves, wall time) the run
 	// performed.
 	Stats Stats
+	// SeedTemps is the raw solver output of the final iteration (before any
+	// UniformT collapse) — the right vector to pass as ThermalSeed to a run
+	// at a nearby ambient.
+	SeedTemps []float64
 }
 
 // normalize fills unset options with the paper's defaults.
@@ -126,8 +137,9 @@ func runWithBaseline(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts 
 	// prevSolved is the raw solver output of the previous iteration (before
 	// any UniformT collapse); it warm-starts the iterative thermal fallback,
 	// which then converges in a handful of sweeps because consecutive
-	// Algorithm-1 iterates differ by at most a few degrees.
-	var prevSolved []float64
+	// Algorithm-1 iterates differ by at most a few degrees. The first
+	// iteration can be seeded from a run at a nearby ambient.
+	prevSolved := opts.ThermalSeed
 
 	var rep sta.Report
 	for iter := 1; iter <= opts.MaxIters; iter++ {
@@ -209,5 +221,6 @@ func runWithBaseline(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts 
 	res.RiseC = hotspot.Mean(temps) - opts.AmbientC
 	res.SpreadC = hotspot.Spread(temps)
 	res.Breakdown = final.Breakdown
+	res.SeedTemps = prevSolved
 	return res, nil
 }

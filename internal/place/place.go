@@ -5,6 +5,15 @@
 // half-perimeter wirelength, annealed with an adaptive range limit — the
 // timing-driven placement the paper's flow relies on for realistic critical
 // paths.
+//
+// Place is the optimized annealer: per-net cached bounding boxes with
+// boundary counts (VPR's incremental bbox cost update) priced in O(moved
+// endpoints) per move instead of a full HPWL recompute of every touched
+// net, flat slice-backed occupancy and site tables, and a stamp-based
+// touched-net index. It consumes the exact RNG stream of the seed annealer
+// and reproduces its accept/reject decisions, so TileOf and Cost are
+// byte-identical to PlaceReference (see reference.go and the equivalence
+// tests).
 package place
 
 import (
@@ -12,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"tafpga/internal/arch"
 	"tafpga/internal/coffe"
@@ -21,6 +31,9 @@ import (
 
 // ioPadsPerTile is the pad capacity of one IO ring tile.
 const ioPadsPerTile = 8
+
+// numTileClasses sizes the per-class site tables (TileLogic..TileEmpty).
+const numTileClasses = int(coffe.TileEmpty) + 1
 
 // Placement is the placed design.
 type Placement struct {
@@ -50,8 +63,87 @@ type entity struct {
 	slot    int // IO pads: slot within the tile
 }
 
+// gridSites is the per-grid site enumeration: the legal tile list of every
+// class, in tile-index order (the order the seed annealer produced). It is
+// built once per grid and cached, so repeated Place calls on one grid (the
+// ablation sweeps, the reference/optimized equivalence harness) skip the
+// full-grid classification scan.
+type gridSites struct {
+	byClass [numTileClasses][]int
+}
+
+var siteCache = struct {
+	sync.Mutex
+	m map[*arch.Grid]*gridSites
+}{m: map[*arch.Grid]*gridSites{}}
+
+// sitesFor returns the cached site enumeration of a grid, building it on
+// first use. The cache is bounded: it resets wholesale rather than growing
+// past a few dozen grids, since each entry is only a few kilobytes and
+// long-running sweeps reuse a handful of grid shapes.
+func sitesFor(grid *arch.Grid) *gridSites {
+	siteCache.Lock()
+	defer siteCache.Unlock()
+	if s, ok := siteCache.m[grid]; ok {
+		return s
+	}
+	if len(siteCache.m) >= 64 {
+		siteCache.m = map[*arch.Grid]*gridSites{}
+	}
+	s := &gridSites{}
+	for idx := 0; idx < grid.NumTiles(); idx++ {
+		c := grid.ClassAt(idx)
+		s.byClass[c] = append(s.byClass[c], idx)
+	}
+	siteCache.m[grid] = s
+	return s
+}
+
+// bbox is one net's cached bounding box with VPR-style boundary
+// multiplicities: cMinX counts how many endpoints sit exactly on minX, so a
+// move off the boundary knows whether the box may shrink. A count of zero
+// marks the edge stale; the net is then rescanned.
+type bbox struct {
+	minX, maxX, minY, maxY     int32
+	cMinX, cMaxX, cMinY, cMaxY int32
+}
+
+// annealer bundles the flat working state of one Place call.
+type annealer struct {
+	grid  *arch.Grid
+	ents  []entity
+	sites *gridSites
+	// occupant[tile*ioPadsPerTile+slot] is the entity index or -1.
+	occupant []int32
+	// tileX/tileY decompose flat tile indices once.
+	tileX, tileY []int32
+
+	// Nets in CSR form: net ni owns endpoints
+	// endsList[endsStart[ni]:endsStart[ni+1]].
+	endsStart []int32
+	endsList  []int32
+	weight    []float64
+	netCost   []float64
+	bb        []bbox
+	// netsAt in CSR form: entity ei touches nets
+	// netsAtList[netsAtStart[ei]:netsAtStart[ei+1]].
+	netsAtStart []int32
+	netsAtList  []int32
+
+	// Per-move scratch, reused across every move.
+	touched    []int
+	touchFlag  []uint8 // bit 0: net contains the moved entity; bit 1: the displaced one
+	touchStamp []int32
+	stamp      int32
+	savedBB    []bbox
+	newCosts   []float64
+
+	total float64
+}
+
 // Place anneals the packed design. effort scales the move budget (1.0 is
-// the default VPR-like schedule); seed fixes the random stream.
+// the default VPR-like schedule); seed fixes the random stream. The result
+// is byte-identical to PlaceReference for the same inputs.
 func Place(p *pack.Result, grid *arch.Grid, seed int64, effort float64) (*Placement, error) {
 	if effort <= 0 {
 		effort = 1.0
@@ -59,7 +151,7 @@ func Place(p *pack.Result, grid *arch.Grid, seed int64, effort float64) (*Placem
 	rng := rand.New(rand.NewSource(seed))
 	nl := p.Netlist
 
-	// Enumerate entities and legal sites per class.
+	// Enumerate entities (same order as the seed annealer).
 	var ents []entity
 	for ci := range p.Clusters {
 		ents = append(ents, entity{class: coffe.TileLogic, cluster: ci, block: -1})
@@ -74,12 +166,7 @@ func Place(p *pack.Result, grid *arch.Grid, seed int64, effort float64) (*Placem
 		ents = append(ents, entity{class: coffe.TileIO, cluster: -1, block: b})
 	}
 
-	sites := map[coffe.TileClass][]int{}
-	for idx := 0; idx < grid.NumTiles(); idx++ {
-		c := grid.ClassAt(idx)
-		sites[c] = append(sites[c], idx)
-	}
-	// Occupancy: one entity per logic/BRAM/DSP tile; ioPadsPerTile per IO.
+	sites := sitesFor(grid)
 	for _, cls := range []coffe.TileClass{coffe.TileLogic, coffe.TileBRAM, coffe.TileDSP} {
 		need := 0
 		for _, e := range ents {
@@ -87,8 +174,8 @@ func Place(p *pack.Result, grid *arch.Grid, seed int64, effort float64) (*Placem
 				need++
 			}
 		}
-		if need > len(sites[cls]) {
-			return nil, fmt.Errorf("place: %d %s blocks exceed %d sites", need, cls, len(sites[cls]))
+		if need > len(sites.byClass[cls]) {
+			return nil, fmt.Errorf("place: %d %s blocks exceed %d sites", need, cls, len(sites.byClass[cls]))
 		}
 	}
 	{
@@ -98,17 +185,21 @@ func Place(p *pack.Result, grid *arch.Grid, seed int64, effort float64) (*Placem
 				needIO++
 			}
 		}
-		if needIO > len(sites[coffe.TileIO])*ioPadsPerTile {
-			return nil, fmt.Errorf("place: %d pads exceed IO capacity %d", needIO, len(sites[coffe.TileIO])*ioPadsPerTile)
+		if needIO > len(sites.byClass[coffe.TileIO])*ioPadsPerTile {
+			return nil, fmt.Errorf("place: %d pads exceed IO capacity %d", needIO, len(sites.byClass[coffe.TileIO])*ioPadsPerTile)
 		}
 	}
 
-	// Initial placement: round-robin over sites.
-	occupant := map[[2]int]int{} // (tile, slot) -> entity index; slot 0 except IO
-	counters := map[coffe.TileClass]int{}
+	// Initial placement: round-robin over sites (deterministic, identical
+	// to the seed's map-backed walk).
+	occupant := make([]int32, grid.NumTiles()*ioPadsPerTile)
+	for i := range occupant {
+		occupant[i] = -1
+	}
+	var counters [numTileClasses]int
 	for ei := range ents {
 		e := &ents[ei]
-		s := sites[e.class]
+		s := sites.byClass[e.class]
 		for {
 			k := counters[e.class]
 			counters[e.class]++
@@ -122,9 +213,9 @@ func Place(p *pack.Result, grid *arch.Grid, seed int64, effort float64) (*Placem
 			} else if k >= len(s) {
 				return nil, fmt.Errorf("place: %s overflow", e.class)
 			}
-			if _, taken := occupant[[2]int{tile, slot}]; !taken {
+			if occupant[tile*ioPadsPerTile+slot] < 0 {
 				e.tile, e.slot = tile, slot
-				occupant[[2]int{tile, slot}] = ei
+				occupant[tile*ioPadsPerTile+slot] = int32(ei)
 				break
 			}
 		}
@@ -151,73 +242,95 @@ func Place(p *pack.Result, grid *arch.Grid, seed int64, effort float64) (*Placem
 	}
 
 	// Nets for the cost function: driver + sinks as entity endpoints,
-	// skipping cluster-internal nets.
+	// skipping cluster-internal nets. Endpoint order matches the seed
+	// (driver first, sinks in netlist order, first occurrence kept).
 	crit := netCriticality(nl)
-	var nets []netRec
-	netsAt := make([][]int, len(ents)) // entity -> net indices
+	a := &annealer{grid: grid, ents: ents, sites: sites, occupant: occupant}
+	a.endsStart = append(a.endsStart, 0)
+	seenStamp := make([]int32, len(ents))
+	for i := range seenStamp {
+		seenStamp[i] = -1
+	}
+	netsAtCount := make([]int32, len(ents))
 	for d := range nl.Blocks {
 		if len(nl.Sinks[d]) == 0 || entOf[d] < 0 {
 			continue
 		}
-		rec := netRec{weight: (1 + 3*crit[d]) * qFactor(len(nl.Sinks[d]))}
-		seen := map[int]bool{}
-		rec.ends = append(rec.ends, entOf[d])
-		seen[entOf[d]] = true
+		mark := int32(d)
+		lo := len(a.endsList)
+		a.endsList = append(a.endsList, int32(entOf[d]))
+		seenStamp[entOf[d]] = mark
 		for _, s := range nl.Sinks[d] {
-			if e := entOf[s]; e >= 0 && !seen[e] {
-				rec.ends = append(rec.ends, e)
-				seen[e] = true
+			if e := entOf[s]; e >= 0 && seenStamp[e] != mark {
+				a.endsList = append(a.endsList, int32(e))
+				seenStamp[e] = mark
 			}
 		}
-		if len(rec.ends) < 2 {
+		if len(a.endsList)-lo < 2 {
+			a.endsList = a.endsList[:lo]
 			continue
 		}
-		ni := len(nets)
-		nets = append(nets, rec)
-		for _, e := range rec.ends {
-			netsAt[e] = append(netsAt[e], ni)
+		a.weight = append(a.weight, (1+3*crit[d])*qFactor(len(nl.Sinks[d])))
+		a.endsStart = append(a.endsStart, int32(len(a.endsList)))
+		for _, e := range a.endsList[lo:] {
+			netsAtCount[e]++
+		}
+	}
+	numNets := len(a.weight)
+
+	// Flatten the entity→net index.
+	a.netsAtStart = make([]int32, len(ents)+1)
+	for ei := range ents {
+		a.netsAtStart[ei+1] = a.netsAtStart[ei] + netsAtCount[ei]
+	}
+	a.netsAtList = make([]int32, a.netsAtStart[len(ents)])
+	fill := make([]int32, len(ents))
+	copy(fill, a.netsAtStart[:len(ents)])
+	for ni := 0; ni < numNets; ni++ {
+		for _, e := range a.endsList[a.endsStart[ni]:a.endsStart[ni+1]] {
+			a.netsAtList[fill[e]] = int32(ni)
+			fill[e]++
 		}
 	}
 
-	hpwl := func(ni int) float64 {
-		minX, minY := math.MaxInt32, math.MaxInt32
-		maxX, maxY := -1, -1
-		for _, ei := range nets[ni].ends {
-			x, y := grid.At(ents[ei].tile)
-			if x < minX {
-				minX = x
-			}
-			if x > maxX {
-				maxX = x
-			}
-			if y < minY {
-				minY = y
-			}
-			if y > maxY {
-				maxY = y
-			}
-		}
-		return nets[ni].weight * float64((maxX-minX)+(maxY-minY))
-	}
-	netCost := make([]float64, len(nets))
-	total := 0.0
-	for ni := range nets {
-		netCost[ni] = hpwl(ni)
-		total += netCost[ni]
+	// Tile coordinate tables.
+	a.tileX = make([]int32, grid.NumTiles())
+	a.tileY = make([]int32, grid.NumTiles())
+	for idx := 0; idx < grid.NumTiles(); idx++ {
+		x, y := grid.At(idx)
+		a.tileX[idx] = int32(x)
+		a.tileY[idx] = int32(y)
 	}
 
-	// Annealing schedule (VPR-like).
+	// Initial bounding boxes and costs (same accumulation order as the
+	// seed: net by net, in net-index order).
+	a.netCost = make([]float64, numNets)
+	a.bb = make([]bbox, numNets)
+	for ni := 0; ni < numNets; ni++ {
+		a.rescan(ni)
+		a.netCost[ni] = a.cost(ni)
+		a.total += a.netCost[ni]
+	}
+
+	// Per-move scratch.
+	a.touchStamp = make([]int32, numNets)
+	a.touchFlag = make([]uint8, numNets)
+	for i := range a.touchStamp {
+		a.touchStamp[i] = -1
+	}
+
+	// Annealing schedule (VPR-like), identical to the seed.
 	movesPerT := int(effort * 8 * math.Pow(float64(len(ents)), 1.2))
 	if movesPerT < 200 {
 		movesPerT = 200
 	}
 	rangeLim := float64(max(grid.W, grid.H))
-	temp := initialTemp(len(nets), total)
+	temp := initialTemp(numNets, a.total)
 
-	for temp > 0.001*total/float64(len(nets)+1) {
+	for temp > 0.001*a.total/float64(numNets+1) {
 		accepted := 0
 		for m := 0; m < movesPerT; m++ {
-			if tryMove(rng, ents, sites, occupant, netsAt, netCost, hpwl, &total, temp, rangeLim) {
+			if a.tryMove(rng, temp) {
 				accepted++
 			}
 		}
@@ -235,12 +348,12 @@ func Place(p *pack.Result, grid *arch.Grid, seed int64, effort float64) (*Placem
 		}
 		// Shrink the move range toward the sweet spot.
 		rangeLim = math.Max(1, rangeLim*(1-0.44+frac))
-		if frac < 0.02 && temp < 0.01*total/float64(len(nets)+1) {
+		if frac < 0.02 && temp < 0.01*a.total/float64(numNets+1) {
 			break
 		}
 	}
 
-	pl := &Placement{Grid: grid, Packed: p, TileOf: make([]int, len(nl.Blocks)), Cost: total}
+	pl := &Placement{Grid: grid, Packed: p, TileOf: make([]int, len(nl.Blocks)), Cost: a.total}
 	for i := range pl.TileOf {
 		pl.TileOf[i] = -1
 		if entOf[i] >= 0 {
@@ -250,15 +363,103 @@ func Place(p *pack.Result, grid *arch.Grid, seed int64, effort float64) (*Placem
 	return pl, nil
 }
 
-// tryMove proposes one swap/move and applies it with Metropolis acceptance.
-func tryMove(rng *rand.Rand, ents []entity, sites map[coffe.TileClass][]int,
-	occupant map[[2]int]int, netsAt [][]int, netCost []float64,
-	hpwl func(int) float64, total *float64, temp, rangeLim float64) bool {
+// cost prices a net from its cached bounding box: exactly the seed's
+// weight × integer-HPWL product (the box is integral, so the float64
+// conversion is exact and the value is bit-identical to a full recompute).
+func (a *annealer) cost(ni int) float64 {
+	b := &a.bb[ni]
+	return a.weight[ni] * float64(int(b.maxX-b.minX)+int(b.maxY-b.minY))
+}
 
+// rescan rebuilds one net's bounding box and boundary counts from the
+// current entity positions.
+func (a *annealer) rescan(ni int) {
+	b := bbox{minX: math.MaxInt32, minY: math.MaxInt32, maxX: -1, maxY: -1}
+	for _, ei := range a.endsList[a.endsStart[ni]:a.endsStart[ni+1]] {
+		tile := a.ents[ei].tile
+		x, y := a.tileX[tile], a.tileY[tile]
+		switch {
+		case x < b.minX:
+			b.minX, b.cMinX = x, 1
+		case x == b.minX:
+			b.cMinX++
+		}
+		switch {
+		case x > b.maxX:
+			b.maxX, b.cMaxX = x, 1
+		case x == b.maxX:
+			b.cMaxX++
+		}
+		switch {
+		case y < b.minY:
+			b.minY, b.cMinY = y, 1
+		case y == b.minY:
+			b.cMinY++
+		}
+		switch {
+		case y > b.maxY:
+			b.maxY, b.cMaxY = y, 1
+		case y == b.maxY:
+			b.cMaxY++
+		}
+	}
+	a.bb[ni] = b
+}
+
+// movePoint slides one endpoint of net ni from (ox,oy) to (nx,ny),
+// updating the cached box and counts. It returns false when a boundary
+// count dropped to zero and the box must be rescanned.
+func (a *annealer) movePoint(ni int, ox, oy, nx, ny int32) bool {
+	b := &a.bb[ni]
+	if ox == b.minX {
+		b.cMinX--
+	}
+	if ox == b.maxX {
+		b.cMaxX--
+	}
+	if oy == b.minY {
+		b.cMinY--
+	}
+	if oy == b.maxY {
+		b.cMaxY--
+	}
+	switch {
+	case nx < b.minX:
+		b.minX, b.cMinX = nx, 1
+	case nx == b.minX:
+		b.cMinX++
+	}
+	switch {
+	case nx > b.maxX:
+		b.maxX, b.cMaxX = nx, 1
+	case nx == b.maxX:
+		b.cMaxX++
+	}
+	switch {
+	case ny < b.minY:
+		b.minY, b.cMinY = ny, 1
+	case ny == b.minY:
+		b.cMinY++
+	}
+	switch {
+	case ny > b.maxY:
+		b.maxY, b.cMaxY = ny, 1
+	case ny == b.maxY:
+		b.cMaxY++
+	}
+	return b.cMinX > 0 && b.cMaxX > 0 && b.cMinY > 0 && b.cMaxY > 0
+}
+
+// tryMove proposes one swap/move and applies it with Metropolis acceptance.
+// It consumes the RNG in the exact pattern of the seed's refTryMove
+// (Intn, Intn, [Intn for IO], and Float64 only for uphill moves) and
+// computes the identical delta, so every accept/reject decision matches.
+func (a *annealer) tryMove(rng *rand.Rand, temp float64) bool {
+	ents := a.ents
 	ei := rng.Intn(len(ents))
 	e := &ents[ei]
 	cls := e.class
-	s := sites[cls]
+	s := a.sites.byClass[cls]
 	target := s[rng.Intn(len(s))]
 	slot := 0
 	if cls == coffe.TileIO {
@@ -267,76 +468,104 @@ func tryMove(rng *rand.Rand, ents []entity, sites map[coffe.TileClass][]int,
 	if target == e.tile && slot == e.slot {
 		return false
 	}
-	// Range limit (skip for IO, which lives on the ring).
-	if cls != coffe.TileIO {
-		// Manhattan distance in tile units via flat index decomposition is
-		// handled by the caller's grid; entities store flat tiles, so the
-		// check uses the shared grid width encoded in the site list order.
-	}
-	_ = rangeLim
 
-	oi, hasOcc := occupant[[2]int{target, slot}]
+	oiRaw := a.occupant[target*ioPadsPerTile+slot]
+	hasOcc := oiRaw >= 0
+	oi := int(oiRaw)
 
-	// Collect the affected nets in deterministic order: map iteration order
-	// would otherwise change floating-point summation order between runs
-	// and break placement reproducibility.
-	touchedSet := map[int]bool{}
-	var touched []int
-	add := func(ni int) {
-		if !touchedSet[ni] {
-			touchedSet[ni] = true
-			touched = append(touched, ni)
-		}
-	}
-	for _, ni := range netsAt[ei] {
-		add(ni)
+	// Collect the affected nets, deduplicated with a stamp and sorted so
+	// the summation order matches the seed exactly.
+	a.stamp++
+	stamp := a.stamp
+	a.touched = a.touched[:0]
+	for _, ni := range a.netsAtList[a.netsAtStart[ei]:a.netsAtStart[ei+1]] {
+		a.touchStamp[ni] = stamp
+		a.touchFlag[ni] = 1
+		a.touched = append(a.touched, int(ni))
 	}
 	if hasOcc {
-		for _, ni := range netsAt[oi] {
-			add(ni)
+		for _, ni := range a.netsAtList[a.netsAtStart[oi]:a.netsAtStart[oi+1]] {
+			if a.touchStamp[ni] == stamp {
+				a.touchFlag[ni] |= 2
+				continue
+			}
+			a.touchStamp[ni] = stamp
+			a.touchFlag[ni] = 2
+			a.touched = append(a.touched, int(ni))
 		}
 	}
-	sort.Ints(touched)
+	sort.Ints(a.touched)
 	oldSum := 0.0
-	for _, ni := range touched {
-		oldSum += netCost[ni]
+	for _, ni := range a.touched {
+		oldSum += a.netCost[ni]
 	}
 
 	// Apply tentatively.
 	oldTile, oldSlot := e.tile, e.slot
-	delete(occupant, [2]int{oldTile, oldSlot})
+	a.occupant[oldTile*ioPadsPerTile+oldSlot] = -1
 	if hasOcc {
 		o := &ents[oi]
 		o.tile, o.slot = oldTile, oldSlot
-		occupant[[2]int{oldTile, oldSlot}] = oi
+		a.occupant[oldTile*ioPadsPerTile+oldSlot] = int32(oi)
 	}
 	e.tile, e.slot = target, slot
-	occupant[[2]int{target, slot}] = ei
+	a.occupant[target*ioPadsPerTile+slot] = int32(ei)
 
+	// Incremental bbox update per touched net: O(moved endpoints), with a
+	// targeted rescan only when a boundary count collapses. The new cost is
+	// the same weight × integer-span product the seed recomputed from
+	// scratch, so newSum (accumulated in the same sorted order) is
+	// bit-identical.
+	ex0, ey0 := a.tileX[oldTile], a.tileY[oldTile]
+	ex1, ey1 := a.tileX[target], a.tileY[target]
+	if cap(a.savedBB) < len(a.touched) {
+		a.savedBB = make([]bbox, len(a.touched), 2*len(a.touched)+8)
+		a.newCosts = make([]float64, len(a.touched), 2*len(a.touched)+8)
+	}
+	a.savedBB = a.savedBB[:len(a.touched)]
+	a.newCosts = a.newCosts[:len(a.touched)]
 	newSum := 0.0
-	newCosts := make([]float64, len(touched))
-	for i, ni := range touched {
-		c := hpwl(ni)
-		newCosts[i] = c
+	for i, ni := range a.touched {
+		a.savedBB[i] = a.bb[ni]
+		ok := true
+		f := a.touchFlag[ni]
+		if f&1 != 0 && (ex0 != ex1 || ey0 != ey1) {
+			ok = a.movePoint(ni, ex0, ey0, ex1, ey1)
+		}
+		if f&2 != 0 && (ex0 != ex1 || ey0 != ey1) {
+			// The displaced entity moved the opposite way.
+			if !a.movePoint(ni, ex1, ey1, ex0, ey0) {
+				ok = false
+			}
+		}
+		if !ok {
+			a.rescan(ni)
+		}
+		c := a.cost(ni)
+		a.newCosts[i] = c
 		newSum += c
 	}
+
 	delta := newSum - oldSum
 	if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
-		for i, ni := range touched {
-			netCost[ni] = newCosts[i]
+		for i, ni := range a.touched {
+			a.netCost[ni] = a.newCosts[i]
 		}
-		*total += delta
+		a.total += delta
 		return true
 	}
-	// Revert.
-	delete(occupant, [2]int{target, slot})
+	// Revert positions, occupancy, and cached boxes.
+	a.occupant[target*ioPadsPerTile+slot] = -1
 	if hasOcc {
 		o := &ents[oi]
 		o.tile, o.slot = target, slot
-		occupant[[2]int{target, slot}] = oi
+		a.occupant[target*ioPadsPerTile+slot] = int32(oi)
 	}
 	e.tile, e.slot = oldTile, oldSlot
-	occupant[[2]int{oldTile, oldSlot}] = ei
+	a.occupant[oldTile*ioPadsPerTile+oldSlot] = int32(ei)
+	for i, ni := range a.touched {
+		a.bb[ni] = a.savedBB[i]
+	}
 	return false
 }
 

@@ -1,0 +1,311 @@
+package place
+
+// reference.go keeps the seed annealer verbatim as PlaceReference: the
+// golden implementation the optimized Place is equivalence-tested against
+// (identical RNG stream, identical accept/reject decisions, byte-identical
+// TileOf and bit-identical Cost) and the "before" half of the front-end
+// perf harness. Do not optimize this file.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"tafpga/internal/coffe"
+	"tafpga/internal/pack"
+
+	"tafpga/internal/arch"
+)
+
+// PlaceReference anneals the packed design with the seed implementation:
+// per-move full-net HPWL recomputes over map-backed occupancy and site
+// tables. It is kept as the golden reference for Place.
+func PlaceReference(p *pack.Result, grid *arch.Grid, seed int64, effort float64) (*Placement, error) {
+	if effort <= 0 {
+		effort = 1.0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nl := p.Netlist
+
+	// Enumerate entities and legal sites per class.
+	var ents []entity
+	for ci := range p.Clusters {
+		ents = append(ents, entity{class: coffe.TileLogic, cluster: ci, block: -1})
+	}
+	for _, b := range p.BRAMs {
+		ents = append(ents, entity{class: coffe.TileBRAM, cluster: -1, block: b})
+	}
+	for _, b := range p.DSPs {
+		ents = append(ents, entity{class: coffe.TileDSP, cluster: -1, block: b})
+	}
+	for _, b := range append(append([]int{}, p.Inputs...), p.Outputs...) {
+		ents = append(ents, entity{class: coffe.TileIO, cluster: -1, block: b})
+	}
+
+	sites := map[coffe.TileClass][]int{}
+	for idx := 0; idx < grid.NumTiles(); idx++ {
+		c := grid.ClassAt(idx)
+		sites[c] = append(sites[c], idx)
+	}
+	// Occupancy: one entity per logic/BRAM/DSP tile; ioPadsPerTile per IO.
+	for _, cls := range []coffe.TileClass{coffe.TileLogic, coffe.TileBRAM, coffe.TileDSP} {
+		need := 0
+		for _, e := range ents {
+			if e.class == cls {
+				need++
+			}
+		}
+		if need > len(sites[cls]) {
+			return nil, fmt.Errorf("place: %d %s blocks exceed %d sites", need, cls, len(sites[cls]))
+		}
+	}
+	{
+		needIO := 0
+		for _, e := range ents {
+			if e.class == coffe.TileIO {
+				needIO++
+			}
+		}
+		if needIO > len(sites[coffe.TileIO])*ioPadsPerTile {
+			return nil, fmt.Errorf("place: %d pads exceed IO capacity %d", needIO, len(sites[coffe.TileIO])*ioPadsPerTile)
+		}
+	}
+
+	// Initial placement: round-robin over sites.
+	occupant := map[[2]int]int{} // (tile, slot) -> entity index; slot 0 except IO
+	counters := map[coffe.TileClass]int{}
+	for ei := range ents {
+		e := &ents[ei]
+		s := sites[e.class]
+		for {
+			k := counters[e.class]
+			counters[e.class]++
+			tile := s[k%len(s)]
+			slot := 0
+			if e.class == coffe.TileIO {
+				slot = k / len(s)
+				if slot >= ioPadsPerTile {
+					return nil, fmt.Errorf("place: IO overflow")
+				}
+			} else if k >= len(s) {
+				return nil, fmt.Errorf("place: %s overflow", e.class)
+			}
+			if _, taken := occupant[[2]int{tile, slot}]; !taken {
+				e.tile, e.slot = tile, slot
+				occupant[[2]int{tile, slot}] = ei
+				break
+			}
+		}
+	}
+
+	// Map each netlist block to its entity.
+	entOf := make([]int, len(nl.Blocks))
+	for i := range entOf {
+		entOf[i] = -1
+	}
+	for ei, e := range ents {
+		if e.cluster >= 0 {
+			for _, ble := range p.Clusters[e.cluster].BLEs {
+				if ble.LUT >= 0 {
+					entOf[ble.LUT] = ei
+				}
+				if ble.FF >= 0 {
+					entOf[ble.FF] = ei
+				}
+			}
+		} else {
+			entOf[e.block] = ei
+		}
+	}
+
+	// Nets for the cost function: driver + sinks as entity endpoints,
+	// skipping cluster-internal nets.
+	crit := netCriticality(nl)
+	var nets []netRec
+	netsAt := make([][]int, len(ents)) // entity -> net indices
+	for d := range nl.Blocks {
+		if len(nl.Sinks[d]) == 0 || entOf[d] < 0 {
+			continue
+		}
+		rec := netRec{weight: (1 + 3*crit[d]) * qFactor(len(nl.Sinks[d]))}
+		seen := map[int]bool{}
+		rec.ends = append(rec.ends, entOf[d])
+		seen[entOf[d]] = true
+		for _, s := range nl.Sinks[d] {
+			if e := entOf[s]; e >= 0 && !seen[e] {
+				rec.ends = append(rec.ends, e)
+				seen[e] = true
+			}
+		}
+		if len(rec.ends) < 2 {
+			continue
+		}
+		ni := len(nets)
+		nets = append(nets, rec)
+		for _, e := range rec.ends {
+			netsAt[e] = append(netsAt[e], ni)
+		}
+	}
+
+	hpwl := func(ni int) float64 {
+		minX, minY := math.MaxInt32, math.MaxInt32
+		maxX, maxY := -1, -1
+		for _, ei := range nets[ni].ends {
+			x, y := grid.At(ents[ei].tile)
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+		return nets[ni].weight * float64((maxX-minX)+(maxY-minY))
+	}
+	netCost := make([]float64, len(nets))
+	total := 0.0
+	for ni := range nets {
+		netCost[ni] = hpwl(ni)
+		total += netCost[ni]
+	}
+
+	// Annealing schedule (VPR-like).
+	movesPerT := int(effort * 8 * math.Pow(float64(len(ents)), 1.2))
+	if movesPerT < 200 {
+		movesPerT = 200
+	}
+	rangeLim := float64(max(grid.W, grid.H))
+	temp := initialTemp(len(nets), total)
+
+	for temp > 0.001*total/float64(len(nets)+1) {
+		accepted := 0
+		for m := 0; m < movesPerT; m++ {
+			if refTryMove(rng, ents, sites, occupant, netsAt, netCost, hpwl, &total, temp, rangeLim) {
+				accepted++
+			}
+		}
+		frac := float64(accepted) / float64(movesPerT)
+		// VPR's adaptive cooling: cool slowly near 44 % acceptance.
+		switch {
+		case frac > 0.96:
+			temp *= 0.5
+		case frac > 0.8:
+			temp *= 0.9
+		case frac > 0.15:
+			temp *= 0.95
+		default:
+			temp *= 0.8
+		}
+		// Shrink the move range toward the sweet spot.
+		rangeLim = math.Max(1, rangeLim*(1-0.44+frac))
+		if frac < 0.02 && temp < 0.01*total/float64(len(nets)+1) {
+			break
+		}
+	}
+
+	pl := &Placement{Grid: grid, Packed: p, TileOf: make([]int, len(nl.Blocks)), Cost: total}
+	for i := range pl.TileOf {
+		pl.TileOf[i] = -1
+		if entOf[i] >= 0 {
+			pl.TileOf[i] = ents[entOf[i]].tile
+		}
+	}
+	return pl, nil
+}
+
+// refTryMove proposes one swap/move and applies it with Metropolis
+// acceptance — the seed per-move full-net recompute.
+func refTryMove(rng *rand.Rand, ents []entity, sites map[coffe.TileClass][]int,
+	occupant map[[2]int]int, netsAt [][]int, netCost []float64,
+	hpwl func(int) float64, total *float64, temp, rangeLim float64) bool {
+
+	ei := rng.Intn(len(ents))
+	e := &ents[ei]
+	cls := e.class
+	s := sites[cls]
+	target := s[rng.Intn(len(s))]
+	slot := 0
+	if cls == coffe.TileIO {
+		slot = rng.Intn(ioPadsPerTile)
+	}
+	if target == e.tile && slot == e.slot {
+		return false
+	}
+	// Range limit (skip for IO, which lives on the ring).
+	if cls != coffe.TileIO {
+		// Manhattan distance in tile units via flat index decomposition is
+		// handled by the caller's grid; entities store flat tiles, so the
+		// check uses the shared grid width encoded in the site list order.
+	}
+	_ = rangeLim
+
+	oi, hasOcc := occupant[[2]int{target, slot}]
+
+	// Collect the affected nets in deterministic order: map iteration order
+	// would otherwise change floating-point summation order between runs
+	// and break placement reproducibility.
+	touchedSet := map[int]bool{}
+	var touched []int
+	add := func(ni int) {
+		if !touchedSet[ni] {
+			touchedSet[ni] = true
+			touched = append(touched, ni)
+		}
+	}
+	for _, ni := range netsAt[ei] {
+		add(ni)
+	}
+	if hasOcc {
+		for _, ni := range netsAt[oi] {
+			add(ni)
+		}
+	}
+	sort.Ints(touched)
+	oldSum := 0.0
+	for _, ni := range touched {
+		oldSum += netCost[ni]
+	}
+
+	// Apply tentatively.
+	oldTile, oldSlot := e.tile, e.slot
+	delete(occupant, [2]int{oldTile, oldSlot})
+	if hasOcc {
+		o := &ents[oi]
+		o.tile, o.slot = oldTile, oldSlot
+		occupant[[2]int{oldTile, oldSlot}] = oi
+	}
+	e.tile, e.slot = target, slot
+	occupant[[2]int{target, slot}] = ei
+
+	newSum := 0.0
+	newCosts := make([]float64, len(touched))
+	for i, ni := range touched {
+		c := hpwl(ni)
+		newCosts[i] = c
+		newSum += c
+	}
+	delta := newSum - oldSum
+	if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+		for i, ni := range touched {
+			netCost[ni] = newCosts[i]
+		}
+		*total += delta
+		return true
+	}
+	// Revert.
+	delete(occupant, [2]int{target, slot})
+	if hasOcc {
+		o := &ents[oi]
+		o.tile, o.slot = target, slot
+		occupant[[2]int{target, slot}] = oi
+	}
+	e.tile, e.slot = oldTile, oldSlot
+	occupant[[2]int{oldTile, oldSlot}] = ei
+	return false
+}

@@ -1,9 +1,8 @@
 package route
 
 import (
-	"container/heap"
 	"fmt"
-	"math"
+	"slices"
 	"sort"
 
 	"tafpga/internal/coffe"
@@ -67,6 +66,8 @@ type pqItem struct {
 
 type pq []pqItem
 
+// The heap.Interface methods serve the retained seed router
+// (RouteReference); the optimized Route uses the concrete push/pop below.
 func (p pq) Len() int            { return len(p) }
 func (p pq) Less(i, j int) bool  { return p[i].cost < p[j].cost }
 func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
@@ -79,7 +80,77 @@ func (p *pq) Pop() interface{} {
 	return it
 }
 
+// qItem is the optimized router's 16-byte frontier entry. The seed item's
+// g-cost stale check (`it.g > dist[n]`) is replaced by a push-sequence
+// match: an entry is live iff it is the node's most recent push, which is
+// exactly the entry whose g equals the node's current label (pushes only
+// ever lower the label, strictly).
+type qItem struct {
+	cost float64 // g + heuristic
+	node int32
+	seq  uint32 // matches searchState.seq for the live entry
+}
+
+type frontierHeap []qItem
+
+// push is heap.Push specialized to the concrete element type: the identical
+// sift-up comparisons and swaps of container/heap without the interface
+// boxing (one allocation per push) or dynamic dispatch. Because the array
+// evolves exactly as under container/heap, the pop order — including ties —
+// is preserved bit for bit.
+func (p *frontierHeap) push(it qItem) {
+	q := append(*p, it)
+	j := len(q) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(q[j].cost < q[i].cost) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+	*p = q
+}
+
+// pop mirrors heap.Pop: swap the root with the last element, sift it down
+// over the shortened heap (container/heap's exact child-selection and stop
+// conditions), and return the detached element.
+func (p *frontierHeap) pop() qItem {
+	q := *p
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && q[j2].cost < q[j].cost {
+			j = j2
+		}
+		if !(q[j].cost < q[i].cost) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	it := q[n]
+	*p = q[:n]
+	return it
+}
+
 // Route routes every multi-terminal net of the placed design.
+//
+// This is the optimized PathFinder: the per-target priority queue, route
+// tree, and traceback maps of the seed router are replaced with pooled
+// slices and epoch-stamped arrays reused across nets and negotiation
+// iterations; net seeding reads the Graph's precompiled OPIN CSR and the
+// A* heuristic reads precomputed node coordinates instead of recomputing
+// wire midpoints on every push; and settled neighbors (dist ≤ d+1, safe
+// because every node costs at least 1) are skipped before their cost is
+// even priced. None of this changes a single heap comparison, so the
+// chosen routes — Paths, WireLenTiles, Iters, MaxOcc — are byte-identical
+// to RouteReference (see reference.go and the equivalence tests).
 func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 	nl := pl.Packed.Netlist
 	grid := pl.Grid
@@ -92,6 +163,9 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 		maxX    int
 		maxY    int
 		srcTile int
+		// sinkTiles is the deduplicated ascending target list; PathFinder
+		// consumes it smallest-first, matching the seed's map-min scan.
+		sinkTiles []int
 	}
 	var tasks []netTask
 	for d := range nl.Blocks {
@@ -100,18 +174,25 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 		}
 		srcTile := pl.TileOf[d]
 		t := netTask{driver: d, srcTile: srcTile}
-		sinkTiles := map[int]bool{}
 		for _, s := range nl.Sinks[d] {
 			st := pl.TileOf[s]
 			if st < 0 || st == srcTile {
 				continue // same tile: cluster-internal, no global routing
 			}
 			t.sinks = append(t.sinks, s)
-			sinkTiles[st] = true
+			t.sinkTiles = append(t.sinkTiles, st)
 		}
 		if len(t.sinks) == 0 {
 			continue
 		}
+		sort.Ints(t.sinkTiles)
+		uniq := t.sinkTiles[:1]
+		for _, st := range t.sinkTiles[1:] {
+			if st != uniq[len(uniq)-1] {
+				uniq = append(uniq, st)
+			}
+		}
+		t.sinkTiles = uniq
 		t.minX, t.minY = grid.W, grid.H
 		update := func(tile int) {
 			x, y := grid.At(tile)
@@ -129,37 +210,76 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 			}
 		}
 		update(srcTile)
-		for st := range sinkTiles {
+		for _, st := range t.sinkTiles {
 			update(st)
 		}
 		tasks = append(tasks, t)
 	}
 
-	occ := make([]int16, g.numNodes)
-	hist := make([]float64, g.numNodes)
-	// Per-net used nodes from the previous iteration, for rip-up.
+	// Congestion state, one cache-friendly record per node: nodeCost reads
+	// hist, occ, and capacity together on every expansion, so keeping them
+	// on one line beats three parallel arrays.
+	type nodeState struct {
+		hist float64
+		occ  int16
+		cap  int16
+	}
+	ng := make([]nodeState, g.numNodes)
+	for n := range ng {
+		ng[n].cap = g.capacity[n]
+	}
+	// Per-net used nodes from the previous iteration, for rip-up. The slice
+	// doubles as the final route-tree node list for traceback.
 	prevUse := make([][]int32, len(tasks))
-	// Per-net parent mapping at final iteration for traceback.
-	finalTrees := make([]map[int32]int32, len(tasks))
+	// finalPars[ti][i] is the tree parent of prevUse[ti][i] at the last
+	// iteration (-1 roots; never -2, existing-tree hits stop the commit
+	// walk before storing).
+	finalPars := make([][]int32, len(tasks))
 
-	// Search state with epoch stamping.
-	dist := make([]float64, g.numNodes)
-	stamp := make([]int32, g.numNodes)
-	parent := make([]int32, g.numNodes)
-	var epoch int32
+	// A* wavefront state with epoch stamping, shared across every net and
+	// iteration. dist/stamp/parent/seq live in one record per node for the
+	// same locality reason as nodeState; seq identifies the node's most
+	// recent frontier entry (see qItem).
+	type searchState struct {
+		dist   float64
+		stamp  int32
+		parent int32
+		seq    uint32
+	}
+	ss := make([]searchState, g.numNodes)
+	inTree := make([]int32, g.numNodes)
+	treePar := make([]int32, g.numNodes)
+	for i := range inTree {
+		inTree[i] = -1
+	}
+	var epoch, netEpoch int32
+	var pushCtr uint32
+	var frontier frontierHeap
+	var treeList, seeds []int32
 
 	res := &Result{Graph: g, Place: pl, Nets: map[int]*NetRoute{}}
 
 	presFac := opts.PresFacFirst
 	segLen := float64(grid.Params.SegmentLength)
 
-	nodeCost := func(n int32) float64 {
-		c := 1.0 + hist[n]
-		over := float64(occ[n] + 1 - g.capacity[n])
+	// cost caches nodeCost per node, maintained incrementally: occupancy
+	// only changes at rip-up/commit and hist/presFac only between
+	// iterations, so the hot expansion loop reads one float64 instead of
+	// re-deriving the congestion term. recost evaluates the exact float
+	// expression of the seed's nodeCost, so the cached values are
+	// bit-identical to computing on demand.
+	cost := make([]float64, g.numNodes)
+	recost := func(n int32) {
+		s := &ng[n]
+		c := 1.0 + s.hist
+		over := float64(s.occ + 1 - s.cap)
 		if over > 0 {
 			c += over * presFac * 4
 		}
-		return c
+		cost[n] = c
+	}
+	for n := int32(0); n < int32(g.numNodes); n++ {
+		recost(n)
 	}
 
 	for iter := 1; iter <= opts.MaxIters; iter++ {
@@ -170,7 +290,8 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 			t := &tasks[ti]
 			// Rip up previous route.
 			for _, n := range prevUse[ti] {
-				occ[n]--
+				ng[n].occ--
+				recost(n)
 			}
 			prevUse[ti] = prevUse[ti][:0]
 
@@ -179,70 +300,70 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 			loY, hiY := t.minY-margin, t.maxY+margin
 
 			// Route tree grows sink by sink; tree nodes re-seed at cost 0.
-			tree := map[int32]int32{} // node -> parent (-1 for roots)
-			remaining := map[int]bool{}
-			for _, s := range t.sinks {
-				remaining[pl.TileOf[s]] = true
-			}
+			netEpoch++
+			treeList = treeList[:0]
 
-			for len(remaining) > 0 {
-				// Pick any remaining target (deterministic: smallest tile).
-				target := -1
-				for tt := range remaining {
-					if target < 0 || tt < target {
-						target = tt
-					}
-				}
+			// Targets ascend, exactly the seed's smallest-remaining order.
+			for tgt := 0; tgt < len(t.sinkTiles); {
+				target := t.sinkTiles[tgt]
 				tx, ty := grid.At(target)
 				targetNode := int32(g.ipinNode(target))
 
 				epoch++
-				var frontier pq
+				frontier = frontier[:0]
 				push := func(n int32, d float64, par int32) {
-					if stamp[n] == epoch && dist[n] <= d {
+					s := &ss[n]
+					if s.stamp == epoch && s.dist <= d {
 						return
 					}
-					stamp[n] = epoch
-					dist[n] = d
-					parent[n] = par
-					mx, my := 0, 0
-					if int(n) < g.numWires {
-						mx, my = g.midpoint(int(n))
-					} else {
-						mx, my = grid.At(int(n) - g.numWires)
+					pushCtr++
+					s.stamp = epoch
+					s.dist = d
+					s.parent = par
+					s.seq = pushCtr
+					// |mx−tx| + |my−ty| in integers: the operands are exact in
+					// float64 either way, so this matches the reference's
+					// math.Abs-on-floats arithmetic bit for bit.
+					v := g.xy[n]
+					dx := int(v&0xffff) - tx
+					if dx < 0 {
+						dx = -dx
 					}
-					h := (math.Abs(float64(mx-tx)) + math.Abs(float64(my-ty))) / segLen * 0.8
-					heap.Push(&frontier, pqItem{node: n, g: d, cost: d + h})
+					dy := int(v>>16) - ty
+					if dy < 0 {
+						dy = -dy
+					}
+					h := float64(dx+dy) / segLen * 0.8
+					frontier.push(qItem{node: n, seq: pushCtr, cost: d + h})
 				}
 
-				if len(tree) == 0 {
-					for _, wseed := range g.sourceWires(t.srcTile) {
-						push(wseed, nodeCost(wseed), -1)
+				if len(treeList) == 0 {
+					for _, wseed := range g.opinList[g.opinStart[t.srcTile]:g.opinStart[t.srcTile+1]] {
+						push(wseed, cost[wseed], -1)
 					}
 				} else {
-					// Re-seed the existing tree in sorted order: map
-					// iteration order would otherwise perturb heap
-					// tie-breaking and make routing non-deterministic.
-					seeds := make([]int32, 0, len(tree))
-					for n := range tree {
+					// Re-seed the existing tree's wires in ascending order,
+					// matching the seed's sorted-map-keys walk.
+					seeds = seeds[:0]
+					for _, n := range treeList {
 						if int(n) < g.numWires {
 							seeds = append(seeds, n)
 						}
 					}
-					sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+					slices.Sort(seeds)
 					for _, n := range seeds {
 						push(n, 0, -2) // already-owned tree node
 					}
 				}
 
 				found := int32(-1)
-				for frontier.Len() > 0 {
-					it := heap.Pop(&frontier).(pqItem)
+				for len(frontier) > 0 {
+					it := frontier.pop()
 					n := it.node
-					if stamp[n] != epoch || it.g > dist[n] {
-						continue // stale queue entry
+					if ss[n].seq != it.seq {
+						continue // superseded by a later, cheaper push
 					}
-					d := dist[n]
+					d := ss[n].dist
 					if n == targetNode {
 						found = n
 						break
@@ -250,14 +371,23 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 					for _, nb := range g.adjList[g.adjStart[n]:g.adjStart[n+1]] {
 						// Bounding-box pruning for wires.
 						if int(nb) < g.numWires {
-							mx, my := g.midpoint(int(nb))
-							if mx < loX || mx > hiX || my < loY || my > hiY {
+							v := g.xy[nb]
+							if mx := int(v & 0xffff); mx < loX || mx > hiX {
+								continue
+							}
+							if my := int(v >> 16); my < loY || my > hiY {
 								continue
 							}
 						} else if int(nb)-g.numWires != target {
 							continue // foreign IPIN
 						}
-						push(nb, d+nodeCost(nb), n)
+						// Settled-neighbor skip: every node costs ≥ 1, so a
+						// label already at dist ≤ d+1 can never be improved
+						// by this expansion — the push would be a no-op.
+						if sb := &ss[nb]; sb.stamp == epoch && sb.dist <= d+1 {
+							continue
+						}
+						push(nb, d+cost[nb], n)
 					}
 				}
 				if found < 0 {
@@ -273,79 +403,89 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 
 				// Commit the new branch into the tree.
 				for n := found; ; {
-					p := parent[n]
-					if _, ok := tree[n]; ok {
+					p := ss[n].parent
+					if inTree[n] == netEpoch {
 						break
 					}
 					if p == -2 {
 						break // reached existing tree
 					}
-					tree[n] = p
+					inTree[n] = netEpoch
+					treePar[n] = p
+					treeList = append(treeList, n)
 					if p < 0 {
 						break
 					}
 					n = p
 				}
-				delete(remaining, target)
+				tgt++
 			}
 
-			// Account occupancy.
-			for n := range tree {
-				occ[n]++
+			// Account occupancy and snapshot the tree for traceback.
+			finalPars[ti] = finalPars[ti][:0]
+			for _, n := range treeList {
+				ng[n].occ++
+				recost(n)
 				prevUse[ti] = append(prevUse[ti], n)
-				if occ[n] > g.capacity[n] {
+				finalPars[ti] = append(finalPars[ti], treePar[n])
+				if ng[n].occ > ng[n].cap {
 					congested = true
 				}
 			}
-			finalTrees[ti] = tree
 		}
 
 		if !congested {
 			break
 		}
 		// Update history on overused nodes; raise pressure.
-		for n := 0; n < g.numNodes; n++ {
-			if over := int(occ[n]) - int(g.capacity[n]); over > 0 {
-				hist[n] += float64(over)
+		for n := range ng {
+			if over := int(ng[n].occ) - int(ng[n].cap); over > 0 {
+				ng[n].hist += float64(over)
 			}
 		}
 		presFac *= opts.PresFacMult
+		// hist and presFac changed; refresh every cached node cost.
+		for n := int32(0); n < int32(g.numNodes); n++ {
+			recost(n)
+		}
 	}
 
 	// Final congestion check.
-	for n := 0; n < g.numNodes; n++ {
-		if int(occ[n]) > res.MaxOcc {
-			res.MaxOcc = int(occ[n])
+	for n := range ng {
+		if int(ng[n].occ) > res.MaxOcc {
+			res.MaxOcc = int(ng[n].occ)
 		}
-		if int(occ[n]) > int(g.capacity[n]) {
+		if ng[n].occ > ng[n].cap {
 			return nil, fmt.Errorf("route: unresolved congestion after %d iterations (node %d occ %d cap %d)",
-				res.Iters, n, occ[n], g.capacity[n])
+				res.Iters, n, ng[n].occ, ng[n].cap)
 		}
 	}
 
-	// Traceback into per-sink hop lists.
+	// Traceback into per-sink hop lists. The tree's parent lookup is
+	// re-stamped per net into the shared arrays (tree nodes are unique, so
+	// no dedup is needed for the wirelength sum).
+	var rev []int32
 	for ti := range tasks {
 		t := &tasks[ti]
-		tree := finalTrees[ti]
+		netEpoch++
 		nr := &NetRoute{Driver: t.driver, Paths: map[int][]Hop{}}
-		wireSeen := map[int32]bool{}
-		for n := range tree {
-			if int(n) < g.numWires && !wireSeen[n] {
-				wireSeen[n] = true
+		for i, n := range prevUse[ti] {
+			inTree[n] = netEpoch
+			treePar[n] = finalPars[ti][i]
+			if int(n) < g.numWires {
 				nr.WireLenTiles += int(g.hi[n]-g.lo[n]) + 1
 			}
 		}
 		for _, s := range t.sinks {
 			st := pl.TileOf[s]
 			ip := int32(g.ipinNode(st))
-			var rev []int32
+			rev = rev[:0]
 			for n := ip; ; {
 				rev = append(rev, n)
-				p, exists := tree[n]
-				if !exists || p < 0 {
+				if inTree[n] != netEpoch || treePar[n] < 0 {
 					break
 				}
-				n = p
+				n = treePar[n]
 			}
 			hops := make([]Hop, 0, len(rev))
 			for i := len(rev) - 1; i >= 0; i-- {

@@ -1,0 +1,311 @@
+package route
+
+// reference.go keeps the seed PathFinder verbatim as RouteReference: the
+// golden implementation the optimized Route is equivalence-tested against
+// (identical negotiation schedule, identical heap contents, byte-identical
+// per-sink hop lists) and the "before" half of the front-end perf harness.
+// Do not optimize this file.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"tafpga/internal/coffe"
+	"tafpga/internal/place"
+)
+
+// RouteReference routes every multi-terminal net of the placed design with
+// the seed implementation: per-target heap allocation, map-backed route
+// trees, and midpoint recomputation on every push. It is kept as the golden
+// reference for Route.
+func RouteReference(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
+	nl := pl.Packed.Netlist
+	grid := pl.Grid
+
+	type netTask struct {
+		driver  int
+		sinks   []int
+		minX    int
+		minY    int
+		maxX    int
+		maxY    int
+		srcTile int
+	}
+	var tasks []netTask
+	for d := range nl.Blocks {
+		if len(nl.Sinks[d]) == 0 || pl.TileOf[d] < 0 {
+			continue
+		}
+		srcTile := pl.TileOf[d]
+		t := netTask{driver: d, srcTile: srcTile}
+		sinkTiles := map[int]bool{}
+		for _, s := range nl.Sinks[d] {
+			st := pl.TileOf[s]
+			if st < 0 || st == srcTile {
+				continue // same tile: cluster-internal, no global routing
+			}
+			t.sinks = append(t.sinks, s)
+			sinkTiles[st] = true
+		}
+		if len(t.sinks) == 0 {
+			continue
+		}
+		t.minX, t.minY = grid.W, grid.H
+		update := func(tile int) {
+			x, y := grid.At(tile)
+			if x < t.minX {
+				t.minX = x
+			}
+			if x > t.maxX {
+				t.maxX = x
+			}
+			if y < t.minY {
+				t.minY = y
+			}
+			if y > t.maxY {
+				t.maxY = y
+			}
+		}
+		update(srcTile)
+		for st := range sinkTiles {
+			update(st)
+		}
+		tasks = append(tasks, t)
+	}
+
+	occ := make([]int16, g.numNodes)
+	hist := make([]float64, g.numNodes)
+	// Per-net used nodes from the previous iteration, for rip-up.
+	prevUse := make([][]int32, len(tasks))
+	// Per-net parent mapping at final iteration for traceback.
+	finalTrees := make([]map[int32]int32, len(tasks))
+
+	// Search state with epoch stamping.
+	dist := make([]float64, g.numNodes)
+	stamp := make([]int32, g.numNodes)
+	parent := make([]int32, g.numNodes)
+	var epoch int32
+
+	res := &Result{Graph: g, Place: pl, Nets: map[int]*NetRoute{}}
+
+	presFac := opts.PresFacFirst
+	segLen := float64(grid.Params.SegmentLength)
+
+	nodeCost := func(n int32) float64 {
+		c := 1.0 + hist[n]
+		over := float64(occ[n] + 1 - g.capacity[n])
+		if over > 0 {
+			c += over * presFac * 4
+		}
+		return c
+	}
+
+	for iter := 1; iter <= opts.MaxIters; iter++ {
+		res.Iters = iter
+		congested := false
+
+		for ti := range tasks {
+			t := &tasks[ti]
+			// Rip up previous route.
+			for _, n := range prevUse[ti] {
+				occ[n]--
+			}
+			prevUse[ti] = prevUse[ti][:0]
+
+			margin := opts.BBoxMargin + (iter-1)*2
+			loX, hiX := t.minX-margin, t.maxX+margin
+			loY, hiY := t.minY-margin, t.maxY+margin
+
+			// Route tree grows sink by sink; tree nodes re-seed at cost 0.
+			tree := map[int32]int32{} // node -> parent (-1 for roots)
+			remaining := map[int]bool{}
+			for _, s := range t.sinks {
+				remaining[pl.TileOf[s]] = true
+			}
+
+			for len(remaining) > 0 {
+				// Pick any remaining target (deterministic: smallest tile).
+				target := -1
+				for tt := range remaining {
+					if target < 0 || tt < target {
+						target = tt
+					}
+				}
+				tx, ty := grid.At(target)
+				targetNode := int32(g.ipinNode(target))
+
+				epoch++
+				var frontier pq
+				push := func(n int32, d float64, par int32) {
+					if stamp[n] == epoch && dist[n] <= d {
+						return
+					}
+					stamp[n] = epoch
+					dist[n] = d
+					parent[n] = par
+					mx, my := 0, 0
+					if int(n) < g.numWires {
+						mx, my = g.midpoint(int(n))
+					} else {
+						mx, my = grid.At(int(n) - g.numWires)
+					}
+					h := (math.Abs(float64(mx-tx)) + math.Abs(float64(my-ty))) / segLen * 0.8
+					heap.Push(&frontier, pqItem{node: n, g: d, cost: d + h})
+				}
+
+				if len(tree) == 0 {
+					for _, wseed := range g.sourceWires(t.srcTile) {
+						push(wseed, nodeCost(wseed), -1)
+					}
+				} else {
+					// Re-seed the existing tree in sorted order: map
+					// iteration order would otherwise perturb heap
+					// tie-breaking and make routing non-deterministic.
+					seeds := make([]int32, 0, len(tree))
+					for n := range tree {
+						if int(n) < g.numWires {
+							seeds = append(seeds, n)
+						}
+					}
+					sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+					for _, n := range seeds {
+						push(n, 0, -2) // already-owned tree node
+					}
+				}
+
+				found := int32(-1)
+				for frontier.Len() > 0 {
+					it := heap.Pop(&frontier).(pqItem)
+					n := it.node
+					if stamp[n] != epoch || it.g > dist[n] {
+						continue // stale queue entry
+					}
+					d := dist[n]
+					if n == targetNode {
+						found = n
+						break
+					}
+					for _, nb := range g.adjList[g.adjStart[n]:g.adjStart[n+1]] {
+						// Bounding-box pruning for wires.
+						if int(nb) < g.numWires {
+							mx, my := g.midpoint(int(nb))
+							if mx < loX || mx > hiX || my < loY || my > hiY {
+								continue
+							}
+						} else if int(nb)-g.numWires != target {
+							continue // foreign IPIN
+						}
+						push(nb, d+nodeCost(nb), n)
+					}
+				}
+				if found < 0 {
+					if margin < grid.W {
+						// Widen the window and retry this net from scratch.
+						loX, hiX, loY, hiY = 0, grid.W-1, 0, grid.H-1
+						margin = grid.W
+						continue
+					}
+					return nil, fmt.Errorf("route: net %d (driver %q) unroutable to tile %d",
+						t.driver, nl.Blocks[t.driver].Name, target)
+				}
+
+				// Commit the new branch into the tree.
+				for n := found; ; {
+					p := parent[n]
+					if _, ok := tree[n]; ok {
+						break
+					}
+					if p == -2 {
+						break // reached existing tree
+					}
+					tree[n] = p
+					if p < 0 {
+						break
+					}
+					n = p
+				}
+				delete(remaining, target)
+			}
+
+			// Account occupancy.
+			for n := range tree {
+				occ[n]++
+				prevUse[ti] = append(prevUse[ti], n)
+				if occ[n] > g.capacity[n] {
+					congested = true
+				}
+			}
+			finalTrees[ti] = tree
+		}
+
+		if !congested {
+			break
+		}
+		// Update history on overused nodes; raise pressure.
+		for n := 0; n < g.numNodes; n++ {
+			if over := int(occ[n]) - int(g.capacity[n]); over > 0 {
+				hist[n] += float64(over)
+			}
+		}
+		presFac *= opts.PresFacMult
+	}
+
+	// Final congestion check.
+	for n := 0; n < g.numNodes; n++ {
+		if int(occ[n]) > res.MaxOcc {
+			res.MaxOcc = int(occ[n])
+		}
+		if int(occ[n]) > int(g.capacity[n]) {
+			return nil, fmt.Errorf("route: unresolved congestion after %d iterations (node %d occ %d cap %d)",
+				res.Iters, n, occ[n], g.capacity[n])
+		}
+	}
+
+	// Traceback into per-sink hop lists.
+	for ti := range tasks {
+		t := &tasks[ti]
+		tree := finalTrees[ti]
+		nr := &NetRoute{Driver: t.driver, Paths: map[int][]Hop{}}
+		wireSeen := map[int32]bool{}
+		for n := range tree {
+			if int(n) < g.numWires && !wireSeen[n] {
+				wireSeen[n] = true
+				nr.WireLenTiles += int(g.hi[n]-g.lo[n]) + 1
+			}
+		}
+		for _, s := range t.sinks {
+			st := pl.TileOf[s]
+			ip := int32(g.ipinNode(st))
+			var rev []int32
+			for n := ip; ; {
+				rev = append(rev, n)
+				p, exists := tree[n]
+				if !exists || p < 0 {
+					break
+				}
+				n = p
+			}
+			hops := make([]Hop, 0, len(rev))
+			for i := len(rev) - 1; i >= 0; i-- {
+				n := rev[i]
+				if int(n) < g.numWires {
+					var from int = -1
+					if i+1 <= len(rev)-1 {
+						pn := rev[i+1]
+						if int(pn) < g.numWires {
+							from = int(pn)
+						}
+					}
+					hops = append(hops, Hop{Tile: g.wireEntryTile(from, t.srcTile, int(n)), Kind: coffe.SBMux})
+				} else {
+					hops = append(hops, Hop{Tile: int(n) - g.numWires, Kind: coffe.CBMux})
+				}
+			}
+			nr.Paths[s] = hops
+		}
+		res.Nets[t.driver] = nr
+	}
+	return res, nil
+}

@@ -40,6 +40,21 @@ type Graph struct {
 	// wiresAt[tile] lists wires overlapping the tile, for source fan-out
 	// and geometric queries.
 	wiresAt [][]int32
+
+	// xy packs every node's heuristic coordinates as x | y<<16 — one 32-bit
+	// load per bounding-box or heuristic evaluation in the router's hot
+	// loop.
+	xy []uint32
+	// mxs/mys cache every node's heuristic coordinates (wire midpoint, or
+	// the tile position for IPINs) so the router's A* never recomputes
+	// geometry on the hot path.
+	mxs, mys []int16
+
+	// opinStart/opinList is the CSR form of sourceWires: tile t's legal
+	// entry wires are opinList[opinStart[t]:opinStart[t+1]], in the exact
+	// order sourceWires produces them.
+	opinStart []int32
+	opinList  []int32
 }
 
 // ipinNode returns the node index of a tile's connection-block input.
@@ -222,6 +237,30 @@ func BuildGraph(grid *arch.Grid) *Graph {
 			capIn = 2 * ioPinsPerTile
 		}
 		g.capacity[g.ipinNode(tile)] = int16(capIn)
+	}
+
+	// Precompute heuristic coordinates once per node.
+	g.xy = make([]uint32, g.numNodes)
+	g.mxs = make([]int16, g.numNodes)
+	g.mys = make([]int16, g.numNodes)
+	for wi := 0; wi < g.numWires; wi++ {
+		x, y := g.midpoint(wi)
+		g.mxs[wi], g.mys[wi] = int16(x), int16(y)
+		g.xy[wi] = uint32(x) | uint32(y)<<16
+	}
+	for tile := 0; tile < grid.NumTiles(); tile++ {
+		x, y := grid.At(tile)
+		n := g.ipinNode(tile)
+		g.mxs[n], g.mys[n] = int16(x), int16(y)
+		g.xy[n] = uint32(x) | uint32(y)<<16
+	}
+
+	// Compile sourceWires into CSR so net seeding is allocation-free.
+	g.opinStart = make([]int32, grid.NumTiles()+1)
+	for tile := 0; tile < grid.NumTiles(); tile++ {
+		ws := g.sourceWires(tile)
+		g.opinStart[tile+1] = g.opinStart[tile] + int32(len(ws))
+		g.opinList = append(g.opinList, ws...)
 	}
 	return g
 }

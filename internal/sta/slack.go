@@ -17,29 +17,55 @@ type SlackReport struct {
 	Criticality []float64
 }
 
-// forwardArrivals runs the compiled forward pass into a fresh arrival
-// vector (callers hand it out in their reports, so it cannot come from the
-// probe scratch pool), and returns the priced term values alongside it for
-// the callers' endpoint and backward sweeps.
-func (a *Analyzer) forwardArrivals(temps []float64) (arrival, vals []float64) {
-	arrival = make([]float64, len(a.NL.Blocks))
-	vals = make([]float64, len(a.comp.uniq))
-	a.fillTermVals(temps, vals)
-	a.seedArrivals(temps, arrival)
-	a.propagate(temps, arrival, vals, nil, nil)
-	return arrival, vals
+// forwardArrivals runs the compiled forward pass into the pooled scratch
+// (arrival pre-zeroed by getScratch, term values fully overwritten) and
+// returns it for the callers' endpoint and backward sweeps. The caller owns
+// returning the scratch to the pool.
+func (a *Analyzer) forwardArrivals(temps []float64) *analyzeScratch {
+	sc := a.getScratch()
+	a.fillTermVals(temps, sc.termVal)
+	a.seedArrivals(temps, sc.arrival)
+	a.propagate(temps, sc.arrival, sc.termVal, nil, nil)
+	return sc
+}
+
+// resizeFloats returns s with length n, reusing its backing array when it
+// is large enough.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }
 
 // Slacks runs the full forward/backward pass at the given temperature map
 // and returns per-block slack against the design's own critical period.
 func (a *Analyzer) Slacks(temps []float64) SlackReport {
+	var rep SlackReport
+	a.SlacksInto(temps, &rep)
+	return rep
+}
+
+// SlacksInto is Slacks with caller-owned buffers: the report's vectors are
+// resized in place, so a loop that re-probes slacks (criticality-driven
+// flows, the guardband inner loop) allocates only on its first call. The
+// working vectors — term values, the forward arrival sweep — come from the
+// probe scratch pool the same way Analyze's do.
+func (a *Analyzer) SlacksInto(temps []float64, out *SlackReport) {
 	nl := a.NL
 	c := a.comp
 	rep := a.Analyze(temps)
 
-	arrival, vals := a.forwardArrivals(temps)
+	sc := a.forwardArrivals(temps)
+	defer a.scratch.Put(sc)
+	arrival, vals := sc.arrival, sc.termVal
 
-	required := make([]float64, len(nl.Blocks))
+	out.PeriodPs = rep.PeriodPs
+	out.ArrivalPs = resizeFloats(out.ArrivalPs, len(nl.Blocks))
+	copy(out.ArrivalPs, arrival)
+
+	out.RequiredPs = resizeFloats(out.RequiredPs, len(nl.Blocks))
+	required := out.RequiredPs
 	for i := range required {
 		required[i] = rep.PeriodPs
 	}
@@ -69,8 +95,10 @@ func (a *Analyzer) Slacks(temps []float64) SlackReport {
 		}
 	}
 
-	crit := make([]float64, len(nl.Blocks))
+	out.Criticality = resizeFloats(out.Criticality, len(nl.Blocks))
+	crit := out.Criticality
 	for i := range crit {
+		crit[i] = 0
 		if rep.PeriodPs <= 0 {
 			continue
 		}
@@ -83,10 +111,6 @@ func (a *Analyzer) Slacks(temps []float64) SlackReport {
 			c = 1
 		}
 		crit[i] = c
-	}
-	return SlackReport{
-		PeriodPs: rep.PeriodPs, ArrivalPs: arrival, RequiredPs: required,
-		Criticality: crit,
 	}
 }
 
@@ -110,7 +134,9 @@ func (a *Analyzer) TopPaths(temps []float64, k int) []PathEntry {
 	c := a.comp
 	rep := a.Analyze(temps)
 
-	arrival, vals := a.forwardArrivals(temps)
+	sc := a.forwardArrivals(temps)
+	defer a.scratch.Put(sc)
+	arrival, vals := sc.arrival, sc.termVal
 
 	// The compiled endpoint list is exactly the set of blocks the seed loop
 	// selected (Output/FF/BRAM/DSP with at least one input), in block-ID

@@ -1,33 +1,62 @@
 #!/bin/sh
-# bench.sh — run the Algorithm-1 inner-loop benchmarks and emit
-# BENCH_inner_loop.json with before/after (Reference vs optimized) pairs.
+# bench.sh — run a perf-regression benchmark suite and emit a JSON summary
+# with before/after (Reference vs optimized) pairs.
 #
 # Usage:
-#   scripts/bench.sh [count]      # benchmark repetitions (default 3)
+#   scripts/bench.sh [suite] [count]
+#
+#   suite   "inner" (default): the Algorithm-1 inner-loop kernels
+#                              → BENCH_inner_loop.json
+#           "flow":            the implementation front-end (place, route,
+#                              full build, cached build) → BENCH_flow.json
+#   count   benchmark repetitions (default 3)
 #
 # Environment:
-#   OUT=path    output JSON (default BENCH_inner_loop.json in the repo root)
-#   BENCHTIME=  go test -benchtime value (default 10x)
+#   OUT=path    output JSON (default per suite, in the repo root)
+#   BENCHTIME=  go test -benchtime value (default 10x for inner, 1x for
+#               flow — a cold mcml build takes tens of seconds)
 #
 # The optimized and seed kernels live in the same binary (Analyze vs
-# AnalyzeReference, Solve vs SolveReference, Options.Reference), so every
-# pair below is measured by one build on one machine.
+# AnalyzeReference, Solve vs SolveReference, Place vs PlaceReference, Route
+# vs RouteReference, Options.Reference), so every pair below is measured by
+# one build on one machine.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+SUITE="inner"
+case "${1:-}" in
+inner | flow)
+	SUITE="$1"
+	shift
+	;;
+esac
 COUNT="${1:-3}"
-BENCHTIME="${BENCHTIME:-10x}"
-OUT="${OUT:-BENCH_inner_loop.json}"
+
+case "$SUITE" in
+inner)
+	BENCH='BenchmarkHotspotSolve|BenchmarkSTAAnalyze|BenchmarkSTASlacks|BenchmarkGuardbandRun'
+	BENCHTIME="${BENCHTIME:-10x}"
+	OUT="${OUT:-BENCH_inner_loop.json}"
+	PAIRS='HotspotSolve=HotspotSolveReference,HotspotSolveIterative=HotspotSolveReference,STAAnalyze=STAAnalyzeReference,GuardbandRun=GuardbandRunReference'
+	;;
+flow)
+	BENCH='BenchmarkPlace|BenchmarkRoute|BenchmarkFlowBuild'
+	BENCHTIME="${BENCHTIME:-1x}"
+	OUT="${OUT:-BENCH_flow.json}"
+	PAIRS='Place=PlaceReference,Route=RouteReference,FlowBuild=FlowBuildReference'
+	;;
+esac
+
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "running inner-loop benchmarks (count=$COUNT, benchtime=$BENCHTIME)..." >&2
+echo "running $SUITE benchmarks (count=$COUNT, benchtime=$BENCHTIME)..." >&2
 go test -run '^$' \
-  -bench 'BenchmarkHotspotSolve|BenchmarkSTAAnalyze|BenchmarkSTASlacks|BenchmarkGuardbandRun' \
-  -benchmem -benchtime="$BENCHTIME" -count="$COUNT" . | tee "$RAW" >&2
+	-bench "$BENCH" \
+	-benchmem -benchtime="$BENCHTIME" -count="$COUNT" . | tee "$RAW" >&2
 
-awk -v count="$COUNT" -v benchtime="$BENCHTIME" '
+awk -v count="$COUNT" -v benchtime="$BENCHTIME" -v suite="$SUITE" -v pairspec="$PAIRS" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)       # strip -GOMAXPROCS suffix
@@ -38,7 +67,7 @@ awk -v count="$COUNT" -v benchtime="$BENCHTIME" '
 /^(goos|goarch|pkg|cpu):/ { meta[$1] = $2 }
 END {
     printf "{\n"
-    printf "  \"suite\": \"inner_loop\",\n"
+    printf "  \"suite\": \"%s\",\n", (suite == "inner" ? "inner_loop" : suite)
     printf "  \"subject\": \"mcml (largest bundled benchmark) at the shared harness scale\",\n"
     printf "  \"goos\": \"%s\",\n", meta["goos:"]
     printf "  \"goarch\": \"%s\",\n", meta["goarch:"]
@@ -60,25 +89,29 @@ END {
     }
     printf "  },\n"
     printf "  \"speedups\": {\n"
-    m = 0
-    pairs["HotspotSolve"] = "HotspotSolveReference"
-    pairs["HotspotSolveIterative"] = "HotspotSolveReference"
-    pairs["STAAnalyze"] = "STAAnalyzeReference"
-    pairs["GuardbandRun"] = "GuardbandRunReference"
-    for (k in pairs) porder[++m] = k
-    for (i = 2; i <= m; i++) {
+    m = split(pairspec, plist, ",")
+    for (i = 1; i <= m; i++) {
+        split(plist[i], kv, "=")
+        pairs[kv[1]] = kv[2]
+    }
+    pm = 0
+    for (k in pairs) porder[++pm] = k
+    for (i = 2; i <= pm; i++) {
         v = porder[i]
         for (j = i - 1; j >= 1 && porder[j] > v; j--) porder[j+1] = porder[j]
         porder[j+1] = v
     }
-    for (i = 1; i <= m; i++) {
+    first = 1
+    for (i = 1; i <= pm; i++) {
         a = porder[i]; r = pairs[a]
         if (runs[a] && runs[r]) {
-            printf "    \"%s\": {\"before_ns\": %.1f, \"after_ns\": %.1f, \"speedup\": %.2f}%s\n", \
-                a, ns[r]/runs[r], ns[a]/runs[a], (ns[r]/runs[r])/(ns[a]/runs[a]), (i < m ? "," : "")
+            if (!first) printf ",\n"
+            first = 0
+            printf "    \"%s\": {\"before_ns\": %.1f, \"after_ns\": %.1f, \"speedup\": %.2f}", \
+                a, ns[r]/runs[r], ns[a]/runs[a], (ns[r]/runs[r])/(ns[a]/runs[a])
         }
     }
-    printf "  }\n"
+    printf "\n  }\n"
     printf "}\n"
 }' "$RAW" > "$OUT"
 
