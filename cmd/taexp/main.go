@@ -12,6 +12,8 @@
 //	-bench csv  restrict Fig. 6/7/8 to a comma-separated benchmark list
 //	-csv dir    also write machine-readable CSVs into dir
 //	-parallel n benchmark fan-out workers (0 = GOMAXPROCS, 1 = serial)
+//	-timeout d  abort after this duration (0 = none); benchmark-suite
+//	            experiments still print and write the CSV rows that finished
 //	-flowcache d   cache place-and-route results in directory d so repeated
 //	               invocations skip the implementation front-end
 //	-cpuprofile f  write a CPU profile of the run to f (go tool pprof)
@@ -24,14 +26,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"tafpga/internal/experiments"
@@ -46,9 +51,21 @@ func main() {
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	parallel := flag.Int("parallel", 0, "benchmark fan-out workers (0 = GOMAXPROCS, 1 = serial)")
 	flowcache := flag.String("flowcache", "", "directory for the on-disk place-and-route cache (reused across runs)")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
 	flag.Parse()
+
+	// SIGINT/SIGTERM (and -timeout) cancel benchmark runs at the next flow
+	// stage or Algorithm-1 iteration; suite experiments still flush the
+	// benchmarks that finished before exiting non-zero.
+	runCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -85,6 +102,7 @@ func main() {
 	}
 
 	ctx := experiments.NewContext(*scale)
+	ctx.Ctx = runCtx
 	ctx.ChannelTracks = *width
 	ctx.PlaceEffort = *effort
 	ctx.Workers = *parallel
@@ -201,35 +219,11 @@ func run(ctx *experiments.Context, name, csvDir string) error {
 			return err
 		}
 	case "fig6":
-		rs, err := ctx.Fig6()
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.FormatBench("Fig. 6: guardbanding gain at Tamb=25C — paper average 36.5%", rs))
-		warnUnconverged(rs)
-		if err := csvOut("fig6.csv", func(w io.Writer) error { return experiments.WriteBenchCSV(w, rs) }); err != nil {
-			return err
-		}
+		return benchSuite(ctx.Fig6, "Fig. 6: guardbanding gain at Tamb=25C — paper average 36.5%", "fig6.csv", warnUnconverged, csvOut)
 	case "fig7":
-		rs, err := ctx.Fig7()
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.FormatBench("Fig. 7: guardbanding gain at Tamb=70C — paper average 14%", rs))
-		warnUnconverged(rs)
-		if err := csvOut("fig7.csv", func(w io.Writer) error { return experiments.WriteBenchCSV(w, rs) }); err != nil {
-			return err
-		}
+		return benchSuite(ctx.Fig7, "Fig. 7: guardbanding gain at Tamb=70C — paper average 14%", "fig7.csv", warnUnconverged, csvOut)
 	case "fig8":
-		rs, err := ctx.Fig8()
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.FormatBench("Fig. 8: 70C-optimized fabric vs typical at Tamb=70C (both guardbanded) — paper average 6.7%", rs))
-		warnUnconverged(rs)
-		if err := csvOut("fig8.csv", func(w io.Writer) error { return experiments.WriteBenchCSV(w, rs) }); err != nil {
-			return err
-		}
+		return benchSuite(ctx.Fig8, "Fig. 8: 70C-optimized fabric vs typical at Tamb=70C (both guardbanded) — paper average 6.7%", "fig8.csv", warnUnconverged, csvOut)
 	case "scorecard":
 		claims, err := ctx.Scorecard()
 		if err != nil {
@@ -262,4 +256,25 @@ func run(ctx *experiments.Context, name, csvDir string) error {
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
+}
+
+// benchSuite runs one benchmark-suite experiment and prints its table. On
+// cancellation the drivers return the benchmarks that finished alongside
+// the error, so the partial table and CSV are still flushed before the
+// non-zero exit.
+func benchSuite(fn func() ([]experiments.BenchResult, error), title, csvFile string,
+	warnUnconverged func([]experiments.BenchResult), csvOut func(string, func(io.Writer) error) error) error {
+	rs, err := fn()
+	if len(rs) == 0 {
+		return err
+	}
+	if err != nil {
+		title += fmt.Sprintf(" [PARTIAL: %d benchmark(s) finished]", len(rs))
+	}
+	fmt.Print(experiments.FormatBench(title, rs))
+	warnUnconverged(rs)
+	if cerr := csvOut(csvFile, func(w io.Writer) error { return experiments.WriteBenchCSV(w, rs) }); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -22,6 +22,8 @@
 //	-sweep spec   guardband an ambient sweep instead of one point:
 //	              "lo:hi:step" (e.g. 0:100:10) or a comma list (e.g. 25,45,70)
 //	-parallel n   sweep workers (0 = GOMAXPROCS, 1 = serial)
+//	-timeout d    abort after this duration (0 = none); a sweep still prints
+//	              the rows that finished
 //	-flowcache d  cache place-and-route results in directory d, keyed by
 //	              netlist/arch/seed/effort/router content, so repeated
 //	              invocations skip the implementation front-end
@@ -30,15 +32,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	"tafpga"
 	"tafpga/internal/bench"
@@ -65,9 +70,21 @@ func main() {
 	sweep := flag.String("sweep", "", `ambient sweep: "lo:hi:step" or comma list of °C`)
 	flowcache := flag.String("flowcache", "", "directory for the on-disk place-and-route cache (reused across runs)")
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
 	flag.Parse()
+
+	// SIGINT/SIGTERM (and -timeout) cancel the flow and Algorithm 1 at
+	// their next stage or iteration boundary; a sweep still prints the
+	// ambients that finished.
+	runCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -158,6 +175,7 @@ func main() {
 	if *flowcache != "" {
 		opts.Cache = flow.NewCache(*flowcache)
 	}
+	opts.Ctx = runCtx
 	im, err := tafpga.Implement(nl, dev, opts)
 	die(err)
 	if im.Routed.Graph != nil {
@@ -167,11 +185,13 @@ func main() {
 	}
 
 	if *sweep != "" {
-		runSweep(im, ambients, *parallel)
+		runSweep(runCtx, im, ambients, *parallel)
 		return
 	}
 
-	res, err := im.Guardband(tafpga.GuardbandOptions(*ambient))
+	gbOpts := tafpga.GuardbandOptions(*ambient)
+	gbOpts.Ctx = runCtx
+	res, err := im.Guardband(gbOpts)
 	die(err)
 
 	fmt.Printf("\nThermal-aware guardbanding at Tamb = %.0f°C (Algorithm 1):\n", *ambient)
@@ -254,8 +274,9 @@ func parseSweep(spec string) ([]float64, error) {
 
 // runSweep guardbands the implementation at every ambient on a bounded
 // worker pool (Algorithm 1 only reads the implementation, so the runs are
-// independent) and prints the table in sweep order.
-func runSweep(im *flow.Implementation, ambients []float64, workers int) {
+// independent) and prints the table in sweep order. Cancellation stops the
+// claim loop; finished rows still print, unfinished ones report the error.
+func runSweep(ctx context.Context, im *flow.Implementation, ambients []float64, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -278,10 +299,12 @@ func runSweep(im *flow.Implementation, ambients []float64, workers int) {
 				i := next
 				next++
 				mu.Unlock()
-				if i >= len(ambients) {
+				if i >= len(ambients) || ctx.Err() != nil {
 					return
 				}
-				results[i], errs[i] = im.Guardband(tafpga.GuardbandOptions(ambients[i]))
+				o := tafpga.GuardbandOptions(ambients[i])
+				o.Ctx = ctx
+				results[i], errs[i] = im.Guardband(o)
 			}
 		}()
 	}
@@ -293,6 +316,10 @@ func runSweep(im *flow.Implementation, ambients []float64, workers int) {
 	for i, amb := range ambients {
 		if errs[i] != nil {
 			fmt.Printf("%10.1f  error: %v\n", amb, errs[i])
+			continue
+		}
+		if results[i] == nil { // claimed out by cancellation before running
+			fmt.Printf("%10.1f  not run: %v\n", amb, ctx.Err())
 			continue
 		}
 		r := results[i]

@@ -1,0 +1,150 @@
+// Command tafpgad serves guardband and experiment runs over HTTP: jobs are
+// submitted as JSON specs, queued FIFO into a bounded worker pool,
+// deduplicated by canonical content key, and observable while they run via
+// an NDJSON event stream and a Prometheus /metrics endpoint.
+//
+//	tafpgad [flags]
+//
+// Flags:
+//
+//	-addr a        listen address (default :8080)
+//	-scale f       benchmark scale relative to the published sizes (default 1/16)
+//	-w n           router channel-width override (default: Table I's 320)
+//	-effort f      placement effort (default 1.0)
+//	-bench csv     restrict figure jobs to a comma-separated benchmark list
+//	-parallel n    per-job benchmark fan-out workers (0 = GOMAXPROCS)
+//	-workers n     concurrent jobs (default 1)
+//	-queue n       queued-job bound before 429s (default 64)
+//	-ttl d         how long finished jobs stay retrievable (default 15m)
+//	-flowcache d   on-disk place-and-route cache shared across jobs and runs
+//	-drain d       graceful-shutdown budget before running jobs are
+//	               hard-cancelled (default 10m)
+//
+// Submit, watch, and cancel:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"kind":"guardband","benchmark":"sha","ambient_c":25}'
+//	curl -s localhost:8080/v1/jobs/j-000001/events
+//	curl -s -X DELETE localhost:8080/v1/jobs/j-000001
+//
+// SIGINT or SIGTERM drains: new submissions are refused, queued and running
+// jobs finish (up to -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tafpga/internal/jobs"
+	"tafpga/internal/obs"
+	"tafpga/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.Float64("scale", 1.0/16, "benchmark scale")
+	width := flag.Int("w", 0, "router channel-width override (0 = Table I)")
+	effort := flag.Float64("effort", 1.0, "placement effort")
+	benchCSV := flag.String("bench", "", "comma-separated benchmark subset for figure jobs")
+	parallel := flag.Int("parallel", 0, "per-job benchmark fan-out workers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 1, "concurrent jobs")
+	queue := flag.Int("queue", 64, "queued-job bound")
+	ttl := flag.Duration("ttl", 15*time.Minute, "finished-job retention")
+	flowcache := flag.String("flowcache", "", "directory for the on-disk place-and-route cache")
+	drain := flag.Duration("drain", 10*time.Minute, "graceful-shutdown budget for running jobs")
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tafpgad: "+format+"\n", args...)
+	}
+
+	cfg := jobs.RunnerConfig{
+		Scale:         *scale,
+		ChannelTracks: *width,
+		PlaceEffort:   *effort,
+		BenchWorkers:  *parallel,
+		FlowCacheDir:  *flowcache,
+	}
+	if *benchCSV != "" {
+		cfg.Benchmarks = strings.Split(*benchCSV, ",")
+	}
+	runner := jobs.NewRunner(cfg)
+
+	reg := obs.NewRegistry()
+	mgr := jobs.New(runner.Run, jobs.Options{
+		Workers:  *workers,
+		MaxQueue: *queue,
+		TTL:      *ttl,
+		Registry: reg,
+	})
+	srv := server.New(mgr, reg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Serve immediately; /readyz flips once the device library is warm so
+	// the first job does not pay the sizing latency.
+	go func() {
+		start := time.Now()
+		if err := runner.Warm(); err != nil {
+			logf("warmup failed: %v", err)
+			os.Exit(1)
+		}
+		srv.SetReady(true)
+		logf("ready: device library warm in %v", time.Since(start).Round(time.Millisecond))
+	}()
+
+	// TTL janitor: Submit sweeps lazily, this catches idle periods.
+	stopJanitor := make(chan struct{})
+	go func() {
+		t := time.NewTicker(*ttl / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				mgr.EvictExpired()
+			case <-stopJanitor:
+				return
+			}
+		}
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logf("listening on %s (scale %g, %d worker(s), queue %d)", *addr, *scale, *workers, *queue)
+
+	select {
+	case err := <-errCh:
+		logf("serve: %v", err)
+		os.Exit(1)
+	case <-sigCtx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills us
+
+	// Graceful drain: unready first so load balancers stop routing here,
+	// then let queued and running jobs finish (event streams close with
+	// their jobs), then close idle HTTP connections.
+	logf("signal received, draining (budget %v)", *drain)
+	srv.SetDraining(true)
+	close(stopJanitor)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := mgr.Drain(drainCtx); err != nil {
+		logf("drain: hard-cancelled running jobs: %v", err)
+	} else {
+		logf("drained cleanly")
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logf("shutdown: %v", err)
+	}
+	<-errCh // ListenAndServe has returned http.ErrServerClosed
+	logf("bye")
+}

@@ -26,17 +26,21 @@ var ablationBenchmarks = []string{"sha", "mkPktMerge", "raygentop"}
 // ablation benchmark set on the worker pool and returns the mean result
 // per benchmark in input order, so the averaging below is order-stable.
 func (c *Context) ablationMean(ambientC float64, tune func(*guardband.Options)) ([]*guardband.Result, error) {
-	return forEachBench(c, ablationBenchmarks, func(name string) (*guardband.Result, error) {
+	out, _, err := forEachBench(c, ablationBenchmarks, func(name string) (*guardband.Result, error) {
 		im, err := c.Implementation(name)
 		if err != nil {
 			return nil, err
 		}
-		opts := guardband.DefaultOptions(ambientC)
+		opts := c.gbOptions(name, ambientC)
 		if tune != nil {
 			tune(&opts)
 		}
 		return im.Guardband(opts)
 	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // AblationDeltaT sweeps Algorithm 1's δT margin: a tighter margin converts
@@ -122,7 +126,7 @@ func (c *Context) AblationPlacement(ambientC float64) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, effort := range []float64{0.1, 1.0} {
 		label := fmt.Sprintf("place effort %.1f", effort)
-		results, err := forEachBench(c, ablationBenchmarks, func(name string) (*guardband.Result, error) {
+		results, _, err := forEachBench(c, ablationBenchmarks, func(name string) (*guardband.Result, error) {
 			// Fresh implementation at this effort (not cached).
 			p, err := bench.ByName(name)
 			if err != nil {
@@ -137,11 +141,12 @@ func (c *Context) AblationPlacement(ambientC float64) ([]AblationRow, error) {
 			opts.PlaceEffort = effort
 			opts.ChannelTracks = c.ChannelTracks
 			opts.Router = route.DefaultOptions()
+			opts.Ctx = c.Ctx
 			im, err := flow.Implement(nl, dev, opts)
 			if err != nil {
 				return nil, err
 			}
-			return im.Guardband(guardband.DefaultOptions(ambientC))
+			return im.Guardband(c.gbOptions(name, ambientC))
 		})
 		if err != nil {
 			return nil, err

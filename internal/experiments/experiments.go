@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -47,6 +48,20 @@ type Context struct {
 	// and results are assembled in suite order, so any worker count
 	// produces bit-identical output.
 	Workers int
+
+	// Ctx, when non-nil, cancels the suite drivers: the worker pool stops
+	// claiming new benchmarks, the flow stops between pipeline stages, and
+	// Algorithm 1 stops between iterations. Drivers then return the
+	// results of the benchmarks that completed (a partial, self-labelled
+	// subset in suite order) together with the context error, so callers
+	// can still flush what finished. A nil Ctx never cancels.
+	Ctx context.Context
+
+	// OnProgress, when set, receives each Algorithm-1 iteration of every
+	// guardband run the drivers issue, labelled with the benchmark name.
+	// Calls may arrive concurrently from pool workers; the callback
+	// observes runs and cannot alter any result.
+	OnProgress func(bench string, p guardband.Progress)
 
 	// OnBenchDone, when set, receives each benchmark run's wall time as
 	// the suite drivers finish it (calls are serialized, completion order).
@@ -88,6 +103,25 @@ func NewContext(scale float64) *Context {
 		PlaceEffort: 1.0,
 		impls:       map[string]*implEntry{},
 	}
+}
+
+// ctx resolves the context's cancellation source (nil = never cancels).
+func (c *Context) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// gbOptions builds the Algorithm-1 options for one benchmark run, threading
+// the context's cancellation and progress callback through to guardband.
+func (c *Context) gbOptions(name string, ambientC float64) guardband.Options {
+	opts := guardband.DefaultOptions(ambientC)
+	opts.Ctx = c.Ctx
+	if cb := c.OnProgress; cb != nil {
+		opts.OnIteration = func(p guardband.Progress) { cb(name, p) }
+	}
+	return opts
 }
 
 // library lazily builds the corner-device cache.
@@ -157,6 +191,7 @@ func (c *Context) implement(name string) (*flow.Implementation, error) {
 	opts.PIDensity = p.PIDensity
 	opts.Router = route.DefaultOptions()
 	opts.Cache = c.FlowCache
+	opts.Ctx = c.Ctx
 	im, err := flow.Implement(nl, dev, opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", name, err)
@@ -345,14 +380,16 @@ func Average(rs []BenchResult) float64 {
 }
 
 // guardbandSuite runs Algorithm 1 per benchmark at one ambient temperature,
-// fanned out over the context's worker pool.
+// fanned out over the context's worker pool. On error (including
+// cancellation via Ctx) it returns the completed benchmarks' results in
+// suite order alongside the error.
 func (c *Context) guardbandSuite(ambientC float64) ([]BenchResult, error) {
-	return forEachBench(c, c.suite(), func(name string) (BenchResult, error) {
+	out, done, err := forEachBench(c, c.suite(), func(name string) (BenchResult, error) {
 		im, err := c.Implementation(name)
 		if err != nil {
 			return BenchResult{}, err
 		}
-		res, err := im.Guardband(guardband.DefaultOptions(ambientC))
+		res, err := im.Guardband(c.gbOptions(name, ambientC))
 		if err != nil {
 			return BenchResult{}, fmt.Errorf("experiments: %s: %w", name, err)
 		}
@@ -364,6 +401,10 @@ func (c *Context) guardbandSuite(ambientC float64) ([]BenchResult, error) {
 			Stats:     res.Stats,
 		}, nil
 	})
+	if err != nil {
+		return completed(out, done), err
+	}
+	return out, nil
 }
 
 // GuardbandSweep runs Algorithm 1 on one benchmark at each ambient in order
@@ -382,11 +423,13 @@ func (c *Context) GuardbandSweep(name string, ambients []float64) ([]BenchResult
 	var seed []float64
 	out := make([]BenchResult, 0, len(ambients))
 	for _, amb := range ambients {
-		opts := guardband.DefaultOptions(amb)
+		opts := c.gbOptions(name, amb)
 		opts.ThermalSeed = seed
 		res, err := im.Guardband(opts)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s at %g°C: %w", name, amb, err)
+			// Partial flush: completed ambients stay valid (each is an
+			// independent run; the seed is a pure accelerator).
+			return out, fmt.Errorf("experiments: %s at %g°C: %w", name, amb, err)
 		}
 		seed = res.SeedTemps
 		out = append(out, BenchResult{
@@ -416,7 +459,7 @@ func (c *Context) Fig8() ([]BenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return forEachBench(c, c.suite(), func(name string) (BenchResult, error) {
+	out, done, err := forEachBench(c, c.suite(), func(name string) (BenchResult, error) {
 		im25, err := c.Implementation(name)
 		if err != nil {
 			return BenchResult{}, err
@@ -425,11 +468,11 @@ func (c *Context) Fig8() ([]BenchResult, error) {
 		if err != nil {
 			return BenchResult{}, err
 		}
-		r25, err := im25.Guardband(guardband.DefaultOptions(70))
+		r25, err := im25.Guardband(c.gbOptions(name, 70))
 		if err != nil {
 			return BenchResult{}, err
 		}
-		r70, err := im70.Guardband(guardband.DefaultOptions(70))
+		r70, err := im70.Guardband(c.gbOptions(name, 70))
 		if err != nil {
 			return BenchResult{}, err
 		}
@@ -447,6 +490,10 @@ func (c *Context) Fig8() ([]BenchResult, error) {
 			Stats:     stats,
 		}, nil
 	})
+	if err != nil {
+		return completed(out, done), err
+	}
+	return out, nil
 }
 
 // FormatSeries renders plotted series as aligned columns. Empty input

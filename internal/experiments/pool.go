@@ -17,13 +17,16 @@ func (c *Context) workers() int {
 // forEachBench fans fn out over names on a bounded worker pool and returns
 // the per-name results assembled in input order, so a parallel run is
 // bit-identical to a serial one (every benchmark already carries its own
-// seed). Names are claimed in order; after a failure no new name starts,
-// in-flight names finish, and the error of the earliest-indexed failure is
-// returned — the same error a serial loop would have stopped on.
-func forEachBench[T any](c *Context, names []string, fn func(name string) (T, error)) ([]T, error) {
+// seed). Names are claimed in order; after a failure (or once the context's
+// Ctx is cancelled) no new name starts, in-flight names finish, and the
+// error of the earliest-indexed failure — or the context error — is
+// returned, the same error a serial loop would have stopped on. done[i]
+// reports whether names[i] completed, so callers can salvage the partial
+// result set alongside a non-nil error.
+func forEachBench[T any](c *Context, names []string, fn func(name string) (T, error)) (out []T, done []bool, err error) {
 	n := len(names)
 	if n == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	w := c.workers()
 	if w > n {
@@ -32,7 +35,8 @@ func forEachBench[T any](c *Context, names []string, fn func(name string) (T, er
 	if w < 1 {
 		w = 1
 	}
-	out := make([]T, n)
+	out = make([]T, n)
+	done = make([]bool, n)
 	errs := make([]error, n)
 	var (
 		mu     sync.Mutex
@@ -43,7 +47,7 @@ func forEachBench[T any](c *Context, names []string, fn func(name string) (T, er
 	claim := func() int {
 		mu.Lock()
 		defer mu.Unlock()
-		if failed || next >= n {
+		if failed || next >= n || c.ctx().Err() != nil {
 			return -1
 		}
 		i := next
@@ -69,6 +73,9 @@ func forEachBench[T any](c *Context, names []string, fn func(name string) (T, er
 					continue
 				}
 				out[i] = res
+				mu.Lock()
+				done[i] = true
+				mu.Unlock()
 				if c.OnBenchDone != nil {
 					elapsed := time.Since(start)
 					mu.Lock()
@@ -79,10 +86,26 @@ func forEachBench[T any](c *Context, names []string, fn func(name string) (T, er
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for _, e := range errs {
+		if e != nil {
+			return out, done, e
 		}
 	}
-	return out, nil
+	if e := c.ctx().Err(); e != nil {
+		return out, done, e
+	}
+	return out, done, nil
+}
+
+// completed compacts a forEachBench result set down to the entries that
+// finished, preserving input order — the partial view drivers hand back on
+// cancellation.
+func completed[T any](out []T, done []bool) []T {
+	var kept []T
+	for i, ok := range done {
+		if ok {
+			kept = append(kept, out[i])
+		}
+	}
+	return kept
 }

@@ -163,13 +163,18 @@ func (c *Cache) lookup(key string) (*cachePayload, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	f, err := os.Open(filepath.Join(c.dir, key+".gob"))
+	path := filepath.Join(c.dir, key+".gob")
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, false
 	}
 	defer f.Close()
 	p = &cachePayload{}
 	if err := gob.NewDecoder(f).Decode(p); err != nil {
+		// A corrupt entry (e.g. a write truncated by a crash) would
+		// otherwise miss on every future lookup of this key: delete it so
+		// the rebuild's store can heal the slot.
+		os.Remove(path)
 		return nil, false
 	}
 	c.mu.Lock()

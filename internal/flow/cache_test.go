@@ -1,8 +1,11 @@
 package flow
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"tafpga/internal/bench"
@@ -150,6 +153,69 @@ func TestFlowCacheCorruptEntryFallsBack(t *testing.T) {
 	}
 	again := implementCached(t, "sha", 1.0/64, NewCache(dir))
 	requireSameGuardband(t, fresh, again)
+}
+
+// TestFlowCacheCorruptEntrySelfHeals: a gob decode failure must not just
+// miss — it must delete the corrupt file so the key is not poisoned, and
+// the rebuild's store must re-create a decodable entry.
+func TestFlowCacheCorruptEntrySelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	fresh := implementCached(t, "sha", 1.0/64, NewCache(dir))
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("expected exactly one cache file, got %v (%v)", files, err)
+	}
+	good, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: a truncated prefix that cannot gob-decode.
+	if err := os.WriteFile(files[0], good[:1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The lookup must treat the entry as a miss AND remove the corrupt file.
+	c := NewCache(dir)
+	if _, ok := c.lookup(strings.TrimSuffix(filepath.Base(files[0]), ".gob")); ok {
+		t.Fatal("corrupt entry must be a miss")
+	}
+	if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry must be removed, stat err = %v", err)
+	}
+
+	// The rebuild heals the slot: a fresh process over the directory first
+	// rebuilds (miss), then hits the re-stored entry.
+	rebuilt := implementCached(t, "sha", 1.0/64, NewCache(dir))
+	if rebuilt.Routed.Graph == nil {
+		t.Fatal("after corruption the first build must be a miss")
+	}
+	requireSameGuardband(t, fresh, rebuilt)
+	healed := implementCached(t, "sha", 1.0/64, NewCache(dir))
+	if healed.Routed.Graph != nil {
+		t.Fatal("the healed on-disk entry must serve the next process")
+	}
+}
+
+// TestFlowCancelBetweenStages: a cancelled context stops Implement between
+// pipeline stages with a context error.
+func TestFlowCancelBetweenStages(t *testing.T) {
+	d, _ := devices(t)
+	prof, err := bench.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := bench.Generate(prof.Scaled(1.0/64), bench.SeedFor("sha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := testOptions("sha")
+	opts.Ctx = cctx
+	if _, err := Implement(nl, d, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
 }
 
 // TestFlowReferenceMatchesOptimized is the flow-level equivalence check:

@@ -6,6 +6,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 
 	"tafpga/internal/activity"
@@ -48,6 +49,23 @@ type Options struct {
 	// the honest "before" half of the front-end benchmarks and the flow-
 	// level equivalence tests.
 	Reference bool
+	// Ctx, when non-nil, cancels the flow between pipeline stages (after
+	// packing, before placement, and before routing). A nil Ctx never
+	// cancels. Cancellation cannot leave a partially built Implementation:
+	// Implement returns the wrapped context error instead.
+	Ctx context.Context
+}
+
+// checkCtx reports the options' context error, if any, wrapped for the
+// flow's error namespace.
+func (o Options) checkCtx(stage string) error {
+	if o.Ctx == nil {
+		return nil
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return fmt.Errorf("flow: %s: %w", stage, err)
+	}
+	return nil
 }
 
 // DefaultOptions returns the standard flow settings.
@@ -74,6 +92,9 @@ type Implementation struct {
 func Implement(nl *netlist.Netlist, dev *coffe.Device, opts Options) (*Implementation, error) {
 	if nl.Sinks == nil {
 		return nil, fmt.Errorf("flow: netlist %s is not frozen", nl.Name)
+	}
+	if err := opts.checkCtx("activity"); err != nil {
+		return nil, err
 	}
 	act := activity.Estimate(nl, opts.PIDensity)
 
@@ -107,11 +128,17 @@ func Implement(nl *netlist.Netlist, dev *coffe.Device, opts Options) (*Implement
 	if opts.Reference {
 		placeFn, routeFn = place.PlaceReference, route.RouteReference
 	}
+	if err := opts.checkCtx("place"); err != nil {
+		return nil, err
+	}
 	placed, err := placeFn(packed, grid, opts.Seed, opts.PlaceEffort)
 	if err != nil {
 		return nil, fmt.Errorf("flow: place: %w", err)
 	}
 
+	if err := opts.checkCtx("route"); err != nil {
+		return nil, err
+	}
 	graph := BuildGraph(grid)
 	routed, err := routeFn(placed, graph, opts.Router)
 	if err != nil {

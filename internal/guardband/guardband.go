@@ -8,6 +8,7 @@
 package guardband
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,6 +50,32 @@ type Options struct {
 	// identical either way — only the sweep count changes. Ignored under
 	// Reference.
 	ThermalSeed []float64
+	// Ctx, when non-nil, is checked at the top of every Algorithm-1
+	// iteration: a cancelled or expired context stops the run between
+	// iterations and Run returns the (wrapped) context error. A nil Ctx
+	// never cancels, so existing callers are unaffected.
+	Ctx context.Context
+	// OnIteration, when set, receives one Progress per convergence
+	// iteration, after its thermal solve. The callback observes the run —
+	// it cannot alter any reported number.
+	OnIteration func(Progress)
+}
+
+// Progress is one Algorithm-1 iteration as seen by Options.OnIteration:
+// enough to stream a live convergence trace without carrying the whole
+// temperature map.
+type Progress struct {
+	// Iteration counts from 1.
+	Iteration int
+	// FmaxMHz is the timing result at the iteration's input temperatures.
+	FmaxMHz float64
+	// MaxDeltaC is the infinity-norm change of the temperature map this
+	// iteration (compared against δT for convergence).
+	MaxDeltaC float64
+	// MaxC is the hottest tile after the iteration's thermal solve.
+	MaxC float64
+	// Converged marks the iteration that met the δT threshold.
+	Converged bool
 }
 
 // DefaultOptions returns the paper's experimental settings.
@@ -143,6 +170,14 @@ func runWithBaseline(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts 
 
 	var rep sta.Report
 	for iter := 1; iter <= opts.MaxIters; iter++ {
+		// Cancellation is checked between iterations only: each
+		// STA→power→thermal round is short, and stopping on a round
+		// boundary keeps the partial state coherent.
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("guardband: cancelled after %d iterations: %w", res.Iterations, err)
+			}
+		}
 		res.Iterations = iter
 		// Line 4: full-netlist timing at the current temperature map.
 		t0 := time.Now()
@@ -196,7 +231,14 @@ func runWithBaseline(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts 
 			}
 		}
 		temps = next
-		if maxDelta <= opts.DeltaTC {
+		converged := maxDelta <= opts.DeltaTC
+		if opts.OnIteration != nil {
+			opts.OnIteration(Progress{
+				Iteration: iter, FmaxMHz: f, MaxDeltaC: maxDelta,
+				MaxC: hotspot.Max(next), Converged: converged,
+			})
+		}
+		if converged {
 			res.Converged = true
 			break
 		}

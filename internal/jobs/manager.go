@@ -1,0 +1,510 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tafpga/internal/obs"
+)
+
+// State is a job's lifecycle position: queued → running → done | failed |
+// cancelled.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event types.
+const (
+	EventState    = "state"
+	EventProgress = "progress"
+)
+
+// Event is one line of a job's NDJSON progress stream: either a state
+// transition or one Algorithm-1 iteration of one benchmark run.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+	// State transition fields.
+	State State  `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Progress fields (one Algorithm-1 iteration).
+	Benchmark string  `json:"benchmark,omitempty"`
+	Iteration int     `json:"iteration,omitempty"`
+	FmaxMHz   float64 `json:"fmax_mhz,omitempty"`
+	MaxDeltaC float64 `json:"max_delta_c,omitempty"`
+	MaxC      float64 `json:"max_c,omitempty"`
+	Converged bool    `json:"converged,omitempty"`
+}
+
+// RunFunc executes one spec. It must honor ctx between units of work and
+// may call emit for per-iteration progress; the returned value must be
+// JSON-marshalable (it becomes the job's result).
+type RunFunc func(ctx context.Context, spec Spec, emit func(Event)) (any, error)
+
+// Options tunes a Manager.
+type Options struct {
+	// Workers bounds concurrent job execution (default 1: guardband runs
+	// already fan out internally over benchmarks).
+	Workers int
+	// MaxQueue bounds the number of queued-but-not-running jobs; Submit
+	// fails with ErrQueueFull beyond it (default 64).
+	MaxQueue int
+	// TTL is how long finished jobs stay retrievable before eviction
+	// (default 15 minutes).
+	TTL time.Duration
+	// Now overrides the clock (tests).
+	Now func() time.Time
+	// Registry, when set, receives the manager's metrics.
+	Registry *obs.Registry
+}
+
+// Sentinel errors, mapped to HTTP statuses by the server.
+var (
+	ErrNotFound  = errors.New("jobs: no such job")
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrDraining  = errors.New("jobs: manager draining")
+	ErrFinished  = errors.New("jobs: job already finished")
+)
+
+// job is the manager-internal record. All fields are guarded by the
+// manager's mutex.
+type job struct {
+	id     string
+	spec   Spec
+	key    string
+	state  State
+	cancel context.CancelFunc
+	// cancelRequested distinguishes a user cancellation from a failure
+	// that happens to wrap context.Canceled.
+	cancelRequested            bool
+	created, started, finished time.Time
+	result                     any
+	errMsg                     string
+	events                     []Event
+	subs                       map[chan Event]struct{}
+}
+
+// View is the JSON representation of a job.
+type View struct {
+	ID       string     `json:"id"`
+	Spec     Spec       `json:"spec"`
+	State    State      `json:"state"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Result   any        `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// metrics bundles the manager's instruments.
+type metrics struct {
+	submitted, deduped           *obs.Counter
+	completed, failed, cancelled *obs.Counter
+	queuedGauge, runningGauge    *obs.Gauge
+	duration                     *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	if r == nil {
+		r = obs.NewRegistry() // throwaway: instruments still work, nothing scrapes them
+	}
+	return &metrics{
+		submitted:    r.Counter("tafpgad_jobs_submitted_total", "Jobs accepted by POST /v1/jobs (deduped submissions included)."),
+		deduped:      r.Counter("tafpgad_jobs_deduped_total", "Submissions coalesced onto an already queued or running identical job."),
+		completed:    r.Counter("tafpgad_jobs_completed_total", "Jobs that finished successfully."),
+		failed:       r.Counter("tafpgad_jobs_failed_total", "Jobs that finished with an error."),
+		cancelled:    r.Counter("tafpgad_jobs_cancelled_total", "Jobs cancelled before completion."),
+		queuedGauge:  r.Gauge("tafpgad_jobs_queued", "Jobs waiting in the FIFO queue."),
+		runningGauge: r.Gauge("tafpgad_jobs_running", "Jobs currently executing."),
+		duration:     r.Histogram("tafpgad_job_duration_seconds", "Wall time of finished jobs, start to finish.", nil),
+	}
+}
+
+// Manager owns the queue, the worker pool, and the job store.
+type Manager struct {
+	run RunFunc
+
+	workers  int
+	maxQueue int
+	ttl      time.Duration
+	now      func() time.Time
+	m        *metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*job
+	jobs     map[string]*job
+	byKey    map[string]*job // queued or running jobs, by canonical spec key
+	nextID   int
+	running  int
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New starts a manager with its worker pool.
+func New(run RunFunc, o Options) *Manager {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64
+	}
+	if o.TTL <= 0 {
+		o.TTL = 15 * time.Minute
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		run:        run,
+		workers:    o.Workers,
+		maxQueue:   o.MaxQueue,
+		ttl:        o.TTL,
+		now:        o.Now,
+		m:          newMetrics(o.Registry),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*job{},
+		byKey:      map[string]*job{},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.wg.Add(o.Workers)
+	for i := 0; i < o.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates and enqueues a spec. When an identical spec (by
+// canonical key) is already queued or running, the submission coalesces
+// onto that job — the returned View is the existing job and deduped is
+// true. Finished jobs do not dedup: re-running them is the flow cache's
+// problem, and it makes re-runs cheap rather than impossible.
+func (m *Manager) Submit(spec Spec) (View, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return View{}, false, err
+	}
+	key := spec.Key()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining || m.closed {
+		return View{}, false, ErrDraining
+	}
+	m.evictExpiredLocked()
+	if j, ok := m.byKey[key]; ok {
+		m.m.submitted.Inc()
+		m.m.deduped.Inc()
+		return m.viewLocked(j), true, nil
+	}
+	if len(m.queue) >= m.maxQueue {
+		return View{}, false, ErrQueueFull
+	}
+	m.nextID++
+	j := &job{
+		id:      fmt.Sprintf("j-%06d", m.nextID),
+		spec:    spec,
+		key:     key,
+		state:   StateQueued,
+		created: m.now(),
+		subs:    map[chan Event]struct{}{},
+	}
+	m.jobs[j.id] = j
+	m.byKey[key] = j
+	m.queue = append(m.queue, j)
+	m.m.submitted.Inc()
+	m.m.queuedGauge.Set(float64(len(m.queue)))
+	m.emitLocked(j, Event{Type: EventState, State: StateQueued})
+	m.cond.Signal()
+	return m.viewLocked(j), false, nil
+}
+
+// Get returns a job's view.
+func (m *Manager) Get(id string) (View, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	return m.viewLocked(j), true
+}
+
+// List returns every stored job (running, queued, and unevicted finished),
+// oldest first, without results.
+func (m *Manager) List() []View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]View, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		v := m.viewLocked(j)
+		v.Result = nil
+		out = append(out, v)
+	}
+	// Job IDs are zero-padded sequence numbers: lexicographic = creation
+	// order.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].ID < out[k-1].ID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job is removed from the queue immediately, a
+// running job has its context cancelled and transitions when the runner
+// observes it (between Algorithm-1 iterations). Cancelling a finished job
+// returns ErrFinished.
+func (m *Manager) Cancel(id string) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		for i, q := range m.queue {
+			if q == j {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		m.m.queuedGauge.Set(float64(len(m.queue)))
+		j.cancelRequested = true
+		m.finishLocked(j, StateCancelled, nil, "cancelled while queued")
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	default:
+		return m.viewLocked(j), ErrFinished
+	}
+	return m.viewLocked(j), nil
+}
+
+// Subscribe returns the job's event history and a live channel for events
+// to come. For a finished job the channel arrives closed. The returned
+// cancel func must be called to release the subscription.
+func (m *Manager) Subscribe(id string) ([]Event, <-chan Event, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, nil, ErrNotFound
+	}
+	history := append([]Event(nil), j.events...)
+	ch := make(chan Event, 64)
+	if j.state.Terminal() {
+		close(ch)
+		return history, ch, func() {}, nil
+	}
+	j.subs[ch] = struct{}{}
+	cancel := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+	return history, ch, cancel, nil
+}
+
+// Drain stops intake and waits for the queue and all running jobs to
+// finish. If ctx expires first, in-flight jobs are hard-cancelled (their
+// contexts fire, Algorithm 1 stops at the next iteration boundary) and
+// Drain waits for the workers to observe it.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for len(m.queue) > 0 || m.running > 0 {
+			m.cond.Wait()
+		}
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		m.baseCancel() // hard-cancel stragglers, then wait for them
+		<-done
+	}
+	m.Close()
+	return err
+}
+
+// Close terminates the worker pool without waiting for queued work: running
+// jobs are hard-cancelled and finish as cancelled at their next context
+// check (Drain calls Close only after the queue empties, so a graceful stop
+// cancels nothing). Idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
+}
+
+// worker claims queued jobs FIFO and executes them.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for !m.closed && len(m.queue) == 0 {
+			m.cond.Wait()
+		}
+		if len(m.queue) == 0 { // closed with an empty queue
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue[0]
+		m.queue = m.queue[1:]
+		m.m.queuedGauge.Set(float64(len(m.queue)))
+		jctx, cancel := context.WithCancel(m.baseCtx)
+		j.cancel = cancel
+		j.state = StateRunning
+		j.started = m.now()
+		m.running++
+		m.m.runningGauge.Set(float64(m.running))
+		m.emitLocked(j, Event{Type: EventState, State: StateRunning})
+		m.mu.Unlock()
+
+		emit := func(e Event) {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			e.Type = EventProgress
+			m.emitLocked(j, e)
+		}
+		result, err := m.run(jctx, j.spec, emit)
+		cancel()
+
+		m.mu.Lock()
+		m.running--
+		m.m.runningGauge.Set(float64(m.running))
+		switch {
+		case err == nil:
+			m.finishLocked(j, StateDone, result, "")
+		case j.cancelRequested || errors.Is(err, context.Canceled):
+			m.finishLocked(j, StateCancelled, nil, err.Error())
+		default:
+			m.finishLocked(j, StateFailed, nil, err.Error())
+		}
+		// Wake Drain (and idle workers, harmlessly).
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// finishLocked moves a job to a terminal state: records the outcome, drops
+// the dedup slot, updates metrics, emits the final event, and closes every
+// subscriber. Caller holds m.mu.
+func (m *Manager) finishLocked(j *job, s State, result any, errMsg string) {
+	j.state = s
+	j.result = result
+	j.errMsg = errMsg
+	j.finished = m.now()
+	if j.started.IsZero() {
+		j.started = j.finished // cancelled while queued: zero duration
+	}
+	if m.byKey[j.key] == j {
+		delete(m.byKey, j.key)
+	}
+	switch s {
+	case StateDone:
+		m.m.completed.Inc()
+	case StateFailed:
+		m.m.failed.Inc()
+	case StateCancelled:
+		m.m.cancelled.Inc()
+	}
+	m.m.duration.Observe(j.finished.Sub(j.started).Seconds())
+	m.emitLocked(j, Event{Type: EventState, State: s, Error: errMsg})
+	for ch := range j.subs {
+		close(ch)
+		delete(j.subs, ch)
+	}
+}
+
+// emitLocked appends an event to the job's history and fans it out to
+// subscribers. A subscriber that cannot keep up (full channel) loses the
+// event from its stream but never blocks the worker; the history keeps
+// everything. Caller holds m.mu.
+func (m *Manager) emitLocked(j *job, e Event) {
+	e.Seq = len(j.events) + 1
+	j.events = append(j.events, e)
+	for ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// evictExpiredLocked drops finished jobs older than the TTL. Caller holds
+// m.mu.
+func (m *Manager) evictExpiredLocked() {
+	cutoff := m.now().Add(-m.ttl)
+	for id, j := range m.jobs {
+		if j.state.Terminal() && j.finished.Before(cutoff) {
+			delete(m.jobs, id)
+		}
+	}
+}
+
+// EvictExpired runs a TTL sweep immediately (the server's janitor; Submit
+// also sweeps lazily).
+func (m *Manager) EvictExpired() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictExpiredLocked()
+}
+
+// viewLocked renders a job. Caller holds m.mu.
+func (m *Manager) viewLocked(j *job) View {
+	v := View{
+		ID: j.id, Spec: j.spec, State: j.state, Created: j.created,
+		Result: j.result, Error: j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}

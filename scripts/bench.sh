@@ -9,6 +9,8 @@
 #                              → BENCH_inner_loop.json
 #           "flow":            the implementation front-end (place, route,
 #                              full build, cached build) → BENCH_flow.json
+#           "all":             both suites in sequence, each to its default
+#                              output file (OUT is ignored)
 #   count   benchmark repetitions (default 3)
 #
 # Environment:
@@ -23,6 +25,15 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "all" ]; then
+	shift
+	# Each suite writes its own default OUT; an inherited OUT would make
+	# the second run clobber the first.
+	OUT="" "$0" inner "$@"
+	OUT="" "$0" flow "$@"
+	exit 0
+fi
 
 SUITE="inner"
 case "${1:-}" in

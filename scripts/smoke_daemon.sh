@@ -1,0 +1,99 @@
+#!/bin/sh
+# smoke_daemon.sh — end-to-end smoke test of the tafpgad serving daemon.
+#
+# Starts tafpgad at a small benchmark scale, waits for /readyz, submits the
+# same guardband job twice (the second must coalesce onto the first), polls
+# the job to completion, checks the NDJSON event stream ends on the terminal
+# state, scrapes /metrics for the dedup counters, and finally SIGTERMs the
+# daemon and asserts a graceful zero-status exit.
+#
+# Environment:
+#   ADDR=host:port  listen address (default 127.0.0.1:18080)
+#   SCALE=f         benchmark scale (default 1/64, the test harness scale)
+#   TIMEOUT=n       per-phase budget in seconds (default 300)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:18080}"
+SCALE="${SCALE:-0.015625}"
+TIMEOUT="${TIMEOUT:-300}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/tafpgad"
+LOG="$(mktemp)"
+
+fail() {
+	echo "smoke_daemon: FAIL: $*" >&2
+	echo "--- daemon log ---" >&2
+	cat "$LOG" >&2
+	exit 1
+}
+
+echo "building tafpgad..." >&2
+go build -o "$BIN" ./cmd/tafpgad
+
+"$BIN" -addr "$ADDR" -scale "$SCALE" -w 104 -effort 0.3 -bench sha \
+	-drain 60s >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+echo "waiting for /readyz..." >&2
+i=0
+until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
+	kill -0 "$PID" 2>/dev/null || fail "daemon died during warmup"
+	i=$((i + 1))
+	[ "$i" -le "$TIMEOUT" ] || fail "daemon not ready after ${TIMEOUT}s"
+	sleep 1
+done
+curl -fsS "$BASE/healthz" >/dev/null || fail "/healthz unhealthy"
+
+SPEC='{"kind":"guardband","benchmark":"sha","ambient_c":25}'
+echo "submitting job twice (second must dedup)..." >&2
+R1="$(curl -fsS "$BASE/v1/jobs" -d "$SPEC")"
+R2="$(curl -fsS "$BASE/v1/jobs" -d "$SPEC")"
+ID1="$(echo "$R1" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)"
+ID2="$(echo "$R2" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)"
+[ -n "$ID1" ] || fail "no job id in response: $R1"
+[ "$ID1" = "$ID2" ] || fail "identical specs got distinct jobs: $ID1 vs $ID2"
+echo "$R2" | grep -q '"deduped":true' || fail "second submission not deduped: $R2"
+
+echo "polling $ID1 to completion..." >&2
+i=0
+while :; do
+	VIEW="$(curl -fsS "$BASE/v1/jobs/$ID1")"
+	STATE="$(echo "$VIEW" | grep -o '"state":"[^"]*"' | head -1 | cut -d'"' -f4)"
+	case "$STATE" in
+	done) break ;;
+	failed | cancelled) fail "job ended $STATE: $VIEW" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -le "$TIMEOUT" ] || fail "job still $STATE after ${TIMEOUT}s"
+	sleep 1
+done
+echo "$VIEW" | grep -q '"result"' || fail "done job has no result: $VIEW"
+
+echo "checking the event stream replay..." >&2
+EVENTS="$(curl -fsS "$BASE/v1/jobs/$ID1/events")"
+echo "$EVENTS" | head -1 | grep -q '"state":"queued"' || fail "stream must start queued: $EVENTS"
+echo "$EVENTS" | tail -1 | grep -q '"state":"done"' || fail "stream must end done: $EVENTS"
+echo "$EVENTS" | grep -q '"type":"progress"' || fail "stream has no Algorithm-1 progress events: $EVENTS"
+
+echo "scraping /metrics..." >&2
+METRICS="$(curl -fsS "$BASE/metrics")"
+for want in \
+	"tafpgad_jobs_submitted_total 2" \
+	"tafpgad_jobs_deduped_total 1" \
+	"tafpgad_jobs_completed_total 1" \
+	"tafpgad_job_duration_seconds_count 1"; do
+	echo "$METRICS" | grep -qF "$want" || fail "/metrics missing '$want':
+$METRICS"
+done
+
+echo "SIGTERM, expecting graceful drain..." >&2
+kill -TERM "$PID"
+if ! wait "$PID"; then
+	fail "daemon exited non-zero on SIGTERM"
+fi
+grep -q "drained cleanly" "$LOG" || fail "daemon did not report a clean drain"
+
+echo "smoke_daemon: PASS" >&2
