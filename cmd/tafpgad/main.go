@@ -19,6 +19,16 @@
 //	-flowcache d   on-disk place-and-route cache shared across jobs and runs
 //	-drain d       graceful-shutdown budget before running jobs are
 //	               hard-cancelled (default 10m)
+//	-state-dir d   durable job state: jobs are journaled to d/journal.ndjson
+//	               and recovered after a crash or restart (default: none,
+//	               jobs are in-memory only)
+//	-retries n     attempts per job for transient failures (default 3;
+//	               1 disables retry)
+//	-retry-base d  base retry backoff, doubled per attempt (default 500ms)
+//	-retry-max d   retry backoff cap (default 30s)
+//	-faults s      fault-injection spec "point=prob[:limit],..." for crash
+//	               and retry testing (also via TAFPGA_FAULTS)
+//	-faults-seed n deterministic seed for -faults (default 1)
 //
 // Submit, watch, and cancel:
 //
@@ -42,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"tafpga/internal/faults"
 	"tafpga/internal/jobs"
 	"tafpga/internal/obs"
 	"tafpga/internal/server"
@@ -59,10 +70,29 @@ func main() {
 	ttl := flag.Duration("ttl", 15*time.Minute, "finished-job retention")
 	flowcache := flag.String("flowcache", "", "directory for the on-disk place-and-route cache")
 	drain := flag.Duration("drain", 10*time.Minute, "graceful-shutdown budget for running jobs")
+	stateDir := flag.String("state-dir", "", "directory for the durable job journal (empty = in-memory only)")
+	retries := flag.Int("retries", 3, "attempts per job for transient failures (1 = no retry)")
+	retryBase := flag.Duration("retry-base", 500*time.Millisecond, "base retry backoff (doubled per attempt)")
+	retryMax := flag.Duration("retry-max", 30*time.Second, "retry backoff cap")
+	faultSpec := flag.String("faults", "", `fault-injection spec "point=prob[:limit],..." (testing)`)
+	faultSeed := flag.Int64("faults-seed", 1, "seed for -faults")
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "tafpgad: "+format+"\n", args...)
+	}
+
+	// Fault injection: the flag wins over the environment so a test harness
+	// can override a stale TAFPGA_FAULTS.
+	if *faultSpec != "" {
+		if err := faults.Enable(*faultSpec, *faultSeed); err != nil {
+			logf("bad -faults: %v", err)
+			os.Exit(2)
+		}
+		logf("fault injection enabled: %s (seed %d)", *faultSpec, *faultSeed)
+	} else if err := faults.EnableFromEnv(); err != nil {
+		logf("bad TAFPGA_FAULTS: %v", err)
+		os.Exit(2)
 	}
 
 	cfg := jobs.RunnerConfig{
@@ -78,12 +108,38 @@ func main() {
 	runner := jobs.NewRunner(cfg)
 
 	reg := obs.NewRegistry()
+
+	// Durable state: with -state-dir, every job transition is journaled and
+	// a restart replays the journal — finished results come back without
+	// recompute, interrupted jobs re-enter the queue.
+	var journal *jobs.Journal
+	if *stateDir != "" {
+		var err error
+		journal, err = jobs.OpenJournal(*stateDir)
+		if err != nil {
+			logf("state dir: %v", err)
+			os.Exit(1)
+		}
+		defer journal.Close()
+	}
+
 	mgr := jobs.New(runner.Run, jobs.Options{
 		Workers:  *workers,
 		MaxQueue: *queue,
 		TTL:      *ttl,
 		Registry: reg,
+		Journal:  journal,
+		Retry: jobs.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseBackoff: *retryBase,
+			MaxBackoff:  *retryMax,
+		},
 	})
+	if journal != nil {
+		restored, requeued := mgr.RecoveryStats()
+		logf("journal %s: %d finished job(s) restored, %d interrupted job(s) requeued",
+			journal.Path(), restored, requeued)
+	}
 	srv := server.New(mgr, reg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

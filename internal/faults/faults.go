@@ -1,0 +1,189 @@
+// Package faults is the fault-injection hook for crash/recovery and retry
+// testing: named failure points scattered through the flow stages and the
+// Algorithm-1 iteration loop consult a process-global injector and, with a
+// configured probability, return an injected error instead of proceeding.
+// The injected error is classified as transient by the jobs layer, so it
+// exercises exactly the retry path a real transient failure (an I/O hiccup,
+// a timed-out stage) would take — without ever altering a computed number:
+// a faulted run aborts, it never corrupts.
+//
+// Injection is disabled by default and costs one atomic load per check when
+// off. It is enabled either programmatically (tests) or from the
+// environment / daemon flags:
+//
+//	TAFPGA_FAULTS="flow.place=0.3,guardband.iter=1:2"
+//	TAFPGA_FAULTS_SEED=7
+//
+// Each spec entry is point=probability with an optional :limit suffix
+// bounding how many times that point may fire (limit 2 at probability 1
+// fails the first two checks deterministically and then succeeds — the
+// shape retry tests want).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure; detect it
+// with Injected (or errors.Is).
+var ErrInjected = errors.New("injected fault")
+
+// Injected reports whether err came from a fault-injection point, however
+// deeply wrapped.
+func Injected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// point is one configured failure site.
+type point struct {
+	prob  float64
+	limit int // 0 = unlimited
+	fired int
+}
+
+// Injector decides, per named point, whether a check fails. Safe for
+// concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	points map[string]*point
+}
+
+// Parse reads a spec string ("a=0.5,b=1:2") into probabilities and limits.
+func Parse(spec string) (map[string]*point, error) {
+	pts := map[string]*point{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: entry %q is not point=prob[:limit]", part)
+		}
+		probStr, limitStr, hasLimit := strings.Cut(val, ":")
+		p, err := strconv.ParseFloat(probStr, 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("faults: probability %q of point %q must be in [0,1]", probStr, name)
+		}
+		pt := &point{prob: p}
+		if hasLimit {
+			n, err := strconv.Atoi(limitStr)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: limit %q of point %q must be a non-negative integer", limitStr, name)
+			}
+			pt.limit = n
+		}
+		pts[strings.TrimSpace(name)] = pt
+	}
+	return pts, nil
+}
+
+// New builds an injector from a parsed spec and a deterministic seed.
+func New(points map[string]*point, seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), points: points}
+}
+
+// Check reports an injected failure for the named point, or nil.
+func (in *Injector) Check(name string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	pt, ok := in.points[name]
+	if !ok {
+		return nil
+	}
+	if pt.limit > 0 && pt.fired >= pt.limit {
+		return nil
+	}
+	if pt.prob < 1 && in.rng.Float64() >= pt.prob {
+		return nil
+	}
+	pt.fired++
+	return fmt.Errorf("faults: %s: %w", name, ErrInjected)
+}
+
+// Fired returns how many times the named point has injected so far.
+func (in *Injector) Fired(name string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if pt, ok := in.points[name]; ok {
+		return pt.fired
+	}
+	return 0
+}
+
+// global is the process-wide injector consulted by Check; nil = disabled.
+var global atomic.Pointer[Injector]
+
+// Enable parses spec and installs it as the process-global injector.
+// An empty spec disables injection.
+func Enable(spec string, seed int64) error {
+	if strings.TrimSpace(spec) == "" {
+		Disable()
+		return nil
+	}
+	pts, err := Parse(spec)
+	if err != nil {
+		return err
+	}
+	global.Store(New(pts, seed))
+	return nil
+}
+
+// Disable removes the process-global injector.
+func Disable() { global.Store(nil) }
+
+// EnableFromEnv installs an injector from TAFPGA_FAULTS and
+// TAFPGA_FAULTS_SEED when set; with the variable unset it is a no-op.
+func EnableFromEnv() error {
+	spec := os.Getenv("TAFPGA_FAULTS")
+	if spec == "" {
+		return nil
+	}
+	seed := int64(1)
+	if s := os.Getenv("TAFPGA_FAULTS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("faults: TAFPGA_FAULTS_SEED: %w", err)
+		}
+		seed = n
+	}
+	return Enable(spec, seed)
+}
+
+// Check consults the process-global injector; the off path is one atomic
+// load, so hooks may sit on hot stage boundaries.
+func Check(name string) error { return global.Load().Check(name) }
+
+// Counts snapshots the per-point injection counts of the global injector,
+// rendered as "point=count" in name order (diagnostics and logs).
+func Counts() string {
+	in := global.Load()
+	if in == nil {
+		return ""
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.points))
+	for n := range in.points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, in.points[n].fired))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	pts, err := Parse("flow.place=0.5, guardband.iter=1:2 ,x=0")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if p := pts["flow.place"]; p == nil || p.prob != 0.5 || p.limit != 0 {
+		t.Fatalf("flow.place = %+v", p)
+	}
+	if p := pts["guardband.iter"]; p == nil || p.prob != 1 || p.limit != 2 {
+		t.Fatalf("guardband.iter = %+v", p)
+	}
+	if p := pts["x"]; p == nil || p.prob != 0 {
+		t.Fatalf("x = %+v", p)
+	}
+	for _, bad := range []string{"noequals", "a=2", "a=-0.1", "a=0.5:x", "a=1:-1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("spec %q must be rejected", bad)
+		}
+	}
+}
+
+func TestLimitFailsThenSucceeds(t *testing.T) {
+	in := New(mustParse(t, "p=1:2"), 1)
+	for i := 0; i < 2; i++ {
+		err := in.Check("p")
+		if !Injected(err) {
+			t.Fatalf("check %d: want injected, got %v", i, err)
+		}
+	}
+	if err := in.Check("p"); err != nil {
+		t.Fatalf("after limit: %v", err)
+	}
+	if in.Fired("p") != 2 {
+		t.Fatalf("fired = %d", in.Fired("p"))
+	}
+	if err := in.Check("unknown"); err != nil {
+		t.Fatalf("unknown point: %v", err)
+	}
+}
+
+func TestProbabilityIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(mustParse(t, "p=0.5"), seed)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Check("p") != nil
+		}
+		return out
+	}
+	a, b, c := run(7), run(7), run(8)
+	same, hits := true, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draw sequences")
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("p=0.5 over %d draws fired %d times", len(a), hits)
+	}
+}
+
+func TestGlobalEnableDisable(t *testing.T) {
+	t.Cleanup(Disable)
+	if err := Check("p"); err != nil {
+		t.Fatalf("disabled check: %v", err)
+	}
+	if err := Enable("p=1:1", 1); err != nil {
+		t.Fatalf("enable: %v", err)
+	}
+	if !Injected(Check("p")) {
+		t.Fatal("enabled point did not fire")
+	}
+	if got := Counts(); got != "p=1" {
+		t.Fatalf("counts = %q", got)
+	}
+	if err := Enable("", 1); err != nil {
+		t.Fatalf("empty enable: %v", err)
+	}
+	if err := Check("p"); err != nil {
+		t.Fatalf("after disable: %v", err)
+	}
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	t.Cleanup(Disable)
+	t.Setenv("TAFPGA_FAULTS", "env.point=1:1")
+	t.Setenv("TAFPGA_FAULTS_SEED", "9")
+	if err := EnableFromEnv(); err != nil {
+		t.Fatalf("from env: %v", err)
+	}
+	if !Injected(Check("env.point")) {
+		t.Fatal("env-configured point did not fire")
+	}
+	t.Setenv("TAFPGA_FAULTS_SEED", "notanumber")
+	if err := EnableFromEnv(); err == nil {
+		t.Fatal("bad seed must be rejected")
+	}
+}
+
+func TestInjectedSurvivesWrapping(t *testing.T) {
+	in := New(mustParse(t, "p=1"), 1)
+	err := fmt.Errorf("experiments: sha: %w", fmt.Errorf("flow: place: %w", in.Check("p")))
+	if !Injected(err) {
+		t.Fatal("wrapped injected error not detected")
+	}
+	if Injected(errors.New("plain")) {
+		t.Fatal("plain error misclassified")
+	}
+}
+
+func mustParse(t *testing.T, spec string) map[string]*point {
+	t.Helper()
+	pts, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("parse %q: %v", spec, err)
+	}
+	return pts
+}

@@ -16,7 +16,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"tafpga/internal/arch"
 	"tafpga/internal/coffe"
@@ -163,18 +165,37 @@ func (c *Cache) lookup(key string) (*cachePayload, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
+	// Shared advisory lock: a concurrent process's store (temp + rename
+	// under the exclusive lock) cannot interleave with this read, so the
+	// decode below sees a complete entry or none. Lock failure degrades to
+	// the old unlocked best-effort behavior.
+	release, locked := acquireFileLock(c.dir, false)
 	path := filepath.Join(c.dir, key+".gob")
 	f, err := os.Open(path)
 	if err != nil {
+		if locked {
+			release()
+		}
 		return nil, false
 	}
-	defer f.Close()
 	p = &cachePayload{}
-	if err := gob.NewDecoder(f).Decode(p); err != nil {
+	decodeErr := gob.NewDecoder(f).Decode(p)
+	f.Close()
+	if locked {
+		release()
+	}
+	if decodeErr != nil {
 		// A corrupt entry (e.g. a write truncated by a crash) would
 		// otherwise miss on every future lookup of this key: delete it so
-		// the rebuild's store can heal the slot.
-		os.Remove(path)
+		// the rebuild's store can heal the slot. Deletion is a write, so it
+		// takes the exclusive lock — never yanking an entry mid-read from
+		// under another process.
+		if release, locked := acquireFileLock(c.dir, true); locked {
+			os.Remove(path)
+			release()
+		} else {
+			os.Remove(path)
+		}
 		return nil, false
 	}
 	c.mu.Lock()
@@ -184,8 +205,10 @@ func (c *Cache) lookup(key string) (*cachePayload, bool) {
 }
 
 // store records a payload in memory and, when configured, on disk. Disk
-// writes go through a temp file + rename so a concurrent reader never sees
-// a torn entry; failures are silently dropped (the cache stays best-effort).
+// writes go through a temp file + rename under the directory's exclusive
+// advisory lock, so two processes storing the same key serialize instead of
+// racing and a reader holding the shared lock never observes the sequence
+// mid-flight; failures are silently dropped (the cache stays best-effort).
 func (c *Cache) store(key string, p *cachePayload) {
 	if c == nil {
 		return
@@ -199,6 +222,11 @@ func (c *Cache) store(key string, p *cachePayload) {
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return
 	}
+	release, locked := acquireFileLock(c.dir, true)
+	if locked {
+		defer release()
+	}
+	c.removeStaleTemps()
 	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
 		return
@@ -214,5 +242,34 @@ func (c *Cache) store(key string, p *cachePayload) {
 	}
 	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, key+".gob")); err != nil {
 		os.Remove(tmp.Name())
+	}
+}
+
+// staleTempAge is how old an orphaned temp file must be before a store
+// sweeps it: long enough that no live writer (whose encode takes seconds at
+// most) can still own it.
+const staleTempAge = time.Hour
+
+// removeStaleTemps deletes temp files orphaned by a crash between
+// CreateTemp and rename — a SIGKILL mid-store leaves the temp behind
+// forever, and nothing else ever touches it. Called under the exclusive
+// lock from store, so a sweeping process cannot delete a temp an in-flight
+// (locked) writer still owns; the age floor protects against unlocked
+// writers on filesystems without flock.
+func (c *Cache) removeStaleTemps() {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-staleTempAge)
+	for _, e := range entries {
+		if e.IsDir() || !strings.Contains(e.Name(), ".tmp") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		os.Remove(filepath.Join(c.dir, e.Name()))
 	}
 }

@@ -1,0 +1,125 @@
+package flow
+
+// cache_lock_test.go covers the cross-process behavior of the disk cache:
+// the advisory-lock coordination between two processes hammering one cache
+// directory, and the sweep that cleans temp files orphaned by a crash
+// between CreateTemp and rename.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// contentionKeys is the number of distinct keys the contention test churns:
+// small enough that the two processes constantly collide on the same slots.
+const contentionKeys = 8
+
+func contentionPayload(i int) *cachePayload {
+	return &cachePayload{TileOf: []int{i, i + 1}, Cost: float64(i), Iters: i % 7, MaxOcc: 1}
+}
+
+// churnCache stores and disk-reads rounds of payloads against dir. Each
+// lookup goes through a fresh *Cache so it exercises the on-disk path, not
+// the in-memory map.
+func churnCache(dir string, rounds int) {
+	c := NewCache(dir)
+	for i := 0; i < rounds; i++ {
+		key := fmt.Sprintf("contended-%02d", i%contentionKeys)
+		c.store(key, contentionPayload(i))
+		NewCache(dir).lookup(key)
+	}
+}
+
+// TestHelperProcessCacheStore is not a test: it is the body of the second
+// process in TestCacheTwoProcessContention, re-executing this test binary.
+func TestHelperProcessCacheStore(t *testing.T) {
+	if os.Getenv("FLOW_CACHE_HELPER") != "1" {
+		t.Skip("helper process for TestCacheTwoProcessContention")
+	}
+	churnCache(os.Getenv("FLOW_CACHE_DIR"), 300)
+}
+
+// TestCacheTwoProcessContention runs two OS processes storing and reading
+// the same keys in one cache directory. With the advisory lock serializing
+// the temp/rename/read sequences, every surviving entry must decode
+// cleanly and no orphaned temp files may remain.
+func TestCacheTwoProcessContention(t *testing.T) {
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperProcessCacheStore$")
+	cmd.Env = append(os.Environ(), "FLOW_CACHE_HELPER=1", "FLOW_CACHE_DIR="+dir)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	churnCache(dir, 300)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("helper process failed: %v\n%s", err, out.String())
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := 0
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("orphaned temp file survived the contention run: %s", e.Name())
+		}
+		if !strings.HasSuffix(e.Name(), ".gob") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &cachePayload{}
+		err = gob.NewDecoder(f).Decode(p)
+		f.Close()
+		if err != nil {
+			t.Errorf("entry %s corrupt after contention: %v", e.Name(), err)
+			continue
+		}
+		decoded++
+	}
+	if decoded != contentionKeys {
+		t.Fatalf("decoded %d entries, want %d", decoded, contentionKeys)
+	}
+}
+
+// TestCacheStoreSweepsStaleTemps: a store removes temp files old enough to
+// be crash orphans and leaves young ones (a possibly-live writer) alone.
+func TestCacheStoreSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "deadbeef.tmp123")
+	if err := os.WriteFile(stale, []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	young := filepath.Join(dir, "cafef00d.tmp456")
+	if err := os.WriteFile(young, []byte("live"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	NewCache(dir).store("somekey", contentionPayload(1))
+
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp not swept (stat err = %v)", err)
+	}
+	if _, err := os.Stat(young); err != nil {
+		t.Fatalf("young temp must survive the sweep: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "somekey.gob")); err != nil {
+		t.Fatalf("store itself failed: %v", err)
+	}
+}

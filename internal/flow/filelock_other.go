@@ -1,0 +1,16 @@
+//go:build !unix
+
+package flow
+
+// filelock_other.go is the non-unix fallback: no advisory locking. The
+// cache stays correct within one process (its mutex) and best-effort across
+// processes (atomic renames), it just loses the cross-process read/write
+// coordination flock provides.
+
+// lockFileName matches the unix implementation so directory layouts agree.
+const lockFileName = ".cache.lock"
+
+// acquireFileLock reports that no lock is available.
+func acquireFileLock(dir string, exclusive bool) (func(), bool) {
+	return nil, false
+}

@@ -1,0 +1,42 @@
+//go:build unix
+
+package flow
+
+// filelock_unix.go implements the cache's cross-process advisory lock with
+// flock(2): readers take the lock shared, writers exclusive, so a CLI run
+// and the daemon can point at one cache directory without racing each
+// other's temp-file/rename/delete sequences. flock is advisory — it only
+// coordinates processes that use it — and per-open-file, so each acquire
+// opens its own descriptor on the lock file.
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockFileName is the advisory lock file inside a cache directory.
+const lockFileName = ".cache.lock"
+
+// acquireFileLock takes the directory's advisory lock (shared or exclusive)
+// and returns a release func. Failure to lock returns a nil release and
+// false: the caller proceeds unlocked — the cache is best-effort, and a
+// filesystem without flock support must not disable it.
+func acquireFileLock(dir string, exclusive bool) (func(), bool) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, false
+	}
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	if err := syscall.Flock(int(f.Fd()), how); err != nil {
+		f.Close()
+		return nil, false
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, true
+}

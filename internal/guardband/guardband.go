@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tafpga/internal/coffe"
+	"tafpga/internal/faults"
 	"tafpga/internal/hotspot"
 	"tafpga/internal/power"
 	"tafpga/internal/sta"
@@ -177,6 +178,12 @@ func runWithBaseline(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts 
 			if err := opts.Ctx.Err(); err != nil {
 				return nil, fmt.Errorf("guardband: cancelled after %d iterations: %w", res.Iterations, err)
 			}
+		}
+		// Fault injection shares the iteration boundary with cancellation:
+		// an injected failure aborts between coherent iterates, exercising
+		// the serving layer's retry path without perturbing any number.
+		if err := faults.Check("guardband.iter"); err != nil {
+			return nil, fmt.Errorf("guardband: iteration %d: %w", iter, err)
 		}
 		res.Iterations = iter
 		// Line 4: full-netlist timing at the current temperature map.

@@ -1,0 +1,125 @@
+package jobs
+
+// errors.go is the retry taxonomy: every job failure is classified so the
+// manager knows whether re-running could possibly help. Admission and
+// validation failures are permanent — the same spec will fail the same way
+// forever, so they fail fast. Context deadlines and injected faults are
+// transient — the work itself is sound, the attempt was unlucky — and those
+// retry with capped exponential backoff plus jitter. Cancellation is its own
+// class: the user asked for the stop, retrying would countermand them.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"tafpga/internal/faults"
+)
+
+// ErrClass buckets a job failure by what retrying it would accomplish.
+type ErrClass int
+
+const (
+	// ClassPermanent failures reproduce deterministically; fail fast.
+	ClassPermanent ErrClass = iota
+	// ClassTransient failures may succeed on a retry.
+	ClassTransient
+	// ClassCanceled failures are deliberate stops; never retried.
+	ClassCanceled
+)
+
+// String names the class (events, logs).
+func (c ErrClass) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassCanceled:
+		return "canceled"
+	default:
+		return "permanent"
+	}
+}
+
+// transientError marks an error as retryable regardless of its chain.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// Transient wraps err so Classify treats it as retryable — the hook for run
+// functions that know a failure (a flaky backend, a lost connection) is
+// worth another attempt.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// Classify buckets an error for the retry policy. The chain is inspected
+// with errors.Is/As, so wrapping through flow → experiments → runner keeps
+// the classification intact.
+func Classify(err error) ErrClass {
+	switch {
+	case err == nil:
+		return ClassPermanent
+	case errors.Is(err, context.Canceled):
+		return ClassCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return ClassTransient
+	case faults.Injected(err):
+		return ClassTransient
+	default:
+		var t *transientError
+		if errors.As(err, &t) {
+			return ClassTransient
+		}
+		return ClassPermanent
+	}
+}
+
+// RetryPolicy bounds how transient failures are retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of run attempts, the first included
+	// (1 or less disables retry).
+	MaxAttempts int
+	// BaseBackoff is the delay scale of the first retry (default 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+}
+
+// normalized fills zero fields with defaults.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = p.BaseBackoff
+	}
+	return p
+}
+
+// backoff returns the delay before retry number attempt (attempt counts the
+// runs already made, so the first retry sees attempt 1): exponential growth
+// capped at MaxBackoff, with equal jitter — half the window is deterministic
+// and half uniformly random, so synchronized failures do not re-converge
+// into a thundering herd.
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}

@@ -1,0 +1,297 @@
+package jobs
+
+// journal.go is the durability layer: an append-only NDJSON write-ahead log
+// of everything the Manager would need to rebuild its store after a crash.
+// Three record kinds flow through it — "spec" (a job was accepted), "state"
+// (a lifecycle transition, carrying timestamps, the attempt count, and the
+// marshaled result on completion), and "event" (one line of the job's
+// progress stream). State transitions are fsync'd before the manager
+// proceeds, so an acknowledged transition survives a power cut; progress
+// events are buffered and ride along with the next transition's sync (losing
+// a few trailing progress lines in a crash is harmless — they are
+// reconstructed by the re-run).
+//
+// The reader is deliberately tolerant: a torn final line (the write that was
+// in flight when the process died) ends replay quietly, and records of an
+// unknown kind are skipped so an old daemon can replay a newer journal.
+// Compaction filters the journal down to the records of still-live jobs,
+// preserving each surviving line byte-for-byte, and replaces the file
+// atomically (temp + fsync + rename).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Journal record kinds.
+const (
+	recordSpec  = "spec"
+	recordState = "state"
+	recordEvent = "event"
+)
+
+// Record is one journal line. Kind selects which field groups are
+// meaningful; unknown kinds are preserved by compaction and skipped by
+// replay.
+type Record struct {
+	Kind string `json:"kind"`
+	ID   string `json:"id"`
+
+	// spec records.
+	Spec    *Spec     `json:"spec,omitempty"`
+	Key     string    `json:"key,omitempty"`
+	Created time.Time `json:"created,omitempty"`
+
+	// state records.
+	State   State           `json:"state,omitempty"`
+	At      time.Time       `json:"at,omitempty"`
+	Attempt int             `json:"attempt,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+
+	// event records.
+	Event *Event `json:"event,omitempty"`
+}
+
+// Journal is the append handle over one journal file. Safe for concurrent
+// use; the Manager serializes its own appends under its mutex anyway.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// journalName is the journal's filename inside a state directory.
+const journalName = "journal.ndjson"
+
+// JournalPath returns the journal file path for a state directory.
+func JournalPath(stateDir string) string {
+	return filepath.Join(stateDir, journalName)
+}
+
+// OpenJournal creates the state directory if needed and opens its journal
+// for appending.
+func OpenJournal(stateDir string) (*Journal, error) {
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: state dir: %w", err)
+	}
+	path := JournalPath(stateDir)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	return &Journal{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one record. When sync is set the record — and everything
+// buffered before it — is flushed and fsync'd before Append returns: the
+// write-ahead guarantee for state transitions.
+func (j *Journal) Append(rec Record, sync bool) error {
+	if j == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: journal marshal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("jobs: journal closed")
+	}
+	j.w.Write(line)
+	if err := j.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("jobs: journal append: %w", err)
+	}
+	if sync {
+		if err := j.w.Flush(); err != nil {
+			return fmt.Errorf("jobs: journal flush: %w", err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("jobs: journal fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes buffered records to stable storage (one fsync covering every
+// append since the last).
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("jobs: journal closed")
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("jobs: journal flush: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: journal fsync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	flushErr := j.w.Flush()
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	j.f, j.w = nil, nil
+	for _, err := range []error{flushErr, syncErr, closeErr} {
+		if err != nil {
+			return fmt.Errorf("jobs: journal close: %w", err)
+		}
+	}
+	return nil
+}
+
+// maxRecordBytes bounds one journal line; figure-suite results are tens of
+// kilobytes, so 16 MiB leaves three orders of magnitude of headroom.
+const maxRecordBytes = 16 << 20
+
+// ReadJournal parses a journal file into records. A missing file is an
+// empty journal. Records of unknown kind are skipped (forward
+// compatibility); a line that fails to parse — the torn tail of a crashed
+// write — ends replay at that point and is reported via damaged so the
+// caller can schedule a compaction to drop it.
+func ReadJournal(path string) (recs []Record, damaged bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("jobs: read journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), maxRecordBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return recs, true, nil
+		}
+		switch rec.Kind {
+		case recordSpec, recordState, recordEvent:
+			recs = append(recs, rec)
+		default:
+			// Newer daemons may journal kinds this one does not know;
+			// ignore them rather than refusing to start.
+		}
+	}
+	if sc.Err() != nil {
+		// An overlong or unterminated tail: same treatment as a torn line.
+		return recs, true, nil
+	}
+	return recs, damaged, nil
+}
+
+// CompactKeep rewrites the journal keeping only the lines whose record ID is
+// in keep, byte-for-byte. Unparseable lines (including a torn tail) are
+// dropped. The rewrite is atomic: temp file, fsync, rename, then the append
+// handle is reopened on the new file.
+func (j *Journal) CompactKeep(keep map[string]bool) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("jobs: journal closed")
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("jobs: compact flush: %w", err)
+	}
+
+	src, err := os.Open(j.path)
+	if err != nil {
+		return fmt.Errorf("jobs: compact read: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), journalName+".tmp*")
+	if err != nil {
+		src.Close()
+		return fmt.Errorf("jobs: compact temp: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 64<<10), maxRecordBytes)
+	var scanErr error
+	for sc.Scan() {
+		line := sc.Bytes()
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			continue
+		}
+		var probe struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(trimmed, &probe) != nil || !keep[probe.ID] {
+			continue
+		}
+		w.Write(line)
+		if err := w.WriteByte('\n'); err != nil {
+			scanErr = err
+			break
+		}
+	}
+	src.Close()
+	if scanErr == nil {
+		scanErr = sc.Err()
+	}
+	if scanErr == nil {
+		scanErr = w.Flush()
+	}
+	if scanErr == nil {
+		scanErr = tmp.Sync()
+	}
+	if err := tmp.Close(); scanErr == nil {
+		scanErr = err
+	}
+	if scanErr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: compact write: %w", scanErr)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: compact rename: %w", err)
+	}
+
+	// Swap the append handle onto the compacted file.
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: compact reopen: %w", err)
+	}
+	j.f.Close()
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	return nil
+}
+
+// Path returns the journal's file path (tests and logs).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}

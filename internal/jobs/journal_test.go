@@ -1,0 +1,167 @@
+package jobs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// appendLines writes raw lines to a journal file (crash-shape fixtures).
+func appendLines(t *testing.T, path string, lines ...string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, l := range lines {
+		if _, err := f.WriteString(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJournalAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := validSpec(1)
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	recs := []Record{
+		{Kind: recordSpec, ID: "j-000001", Spec: &spec, Key: spec.Key(), Created: now},
+		{Kind: recordEvent, ID: "j-000001", Event: &Event{Seq: 1, Type: EventState, State: StateQueued}},
+		{Kind: recordState, ID: "j-000001", State: StateRunning, At: now, Attempt: 1},
+		{Kind: recordState, ID: "j-000001", State: StateDone, At: now.Add(time.Second), Result: json.RawMessage(`{"x":1}`)},
+	}
+	for i, rec := range recs {
+		if err := j.Append(rec, i%2 == 1); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, damaged, err := ReadJournal(JournalPath(dir))
+	if err != nil || damaged {
+		t.Fatalf("read: damaged=%t err=%v", damaged, err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	if got[0].Spec == nil || got[0].Spec.Key() != spec.Key() {
+		t.Fatalf("spec record did not round-trip: %+v", got[0])
+	}
+	if got[3].State != StateDone || string(got[3].Result) != `{"x":1}` {
+		t.Fatalf("done record did not round-trip: %+v", got[3])
+	}
+}
+
+func TestJournalMissingFileIsEmpty(t *testing.T) {
+	recs, damaged, err := ReadJournal(filepath.Join(t.TempDir(), "nope.ndjson"))
+	if err != nil || damaged || len(recs) != 0 {
+		t.Fatalf("missing journal: recs=%v damaged=%t err=%v", recs, damaged, err)
+	}
+}
+
+// A crash can tear the final record mid-write; replay must keep everything
+// before the tear and report damage (so the manager compacts it away).
+func TestJournalTruncatedFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := JournalPath(dir)
+	appendLines(t, path,
+		`{"kind":"spec","id":"j-000001","spec":{"kind":"guardband","benchmark":"sha","ambient_c":25}}`+"\n",
+		`{"kind":"state","id":"j-000001","state":"running","attempt":1}`+"\n",
+		`{"kind":"state","id":"j-000001","state":"done","result":{"x":`, // torn: no close, no newline
+	)
+	recs, damaged, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !damaged {
+		t.Fatal("torn tail must be reported as damage")
+	}
+	if len(recs) != 2 || recs[1].State != StateRunning {
+		t.Fatalf("replay before the tear = %+v", recs)
+	}
+
+	// A torn record that still ends in a newline (partial flush of a larger
+	// buffer) is the same case.
+	os.Remove(path)
+	appendLines(t, path,
+		`{"kind":"spec","id":"j-000001","spec":{"kind":"guardband","benchmark":"sha","ambient_c":25}}`+"\n",
+		`{"kind":"state","id":"j-0000`+"\n",
+	)
+	recs, damaged, err = ReadJournal(path)
+	if err != nil || !damaged || len(recs) != 1 {
+		t.Fatalf("torn middle bytes: recs=%d damaged=%t err=%v", len(recs), damaged, err)
+	}
+}
+
+// Records of a kind this daemon does not know (a newer daemon's journal)
+// are skipped, not fatal.
+func TestJournalUnknownKindSkipped(t *testing.T) {
+	dir := t.TempDir()
+	path := JournalPath(dir)
+	appendLines(t, path,
+		`{"kind":"spec","id":"j-000001","spec":{"kind":"guardband","benchmark":"sha","ambient_c":25}}`+"\n",
+		`{"kind":"checkpoint","id":"j-000001","data":"from-the-future"}`+"\n",
+		`{"kind":"state","id":"j-000001","state":"running","attempt":1}`+"\n",
+	)
+	recs, damaged, err := ReadJournal(path)
+	if err != nil || damaged {
+		t.Fatalf("damaged=%t err=%v", damaged, err)
+	}
+	if len(recs) != 2 || recs[0].Kind != recordSpec || recs[1].Kind != recordState {
+		t.Fatalf("unknown kind not skipped cleanly: %+v", recs)
+	}
+}
+
+// Compaction keeps surviving jobs' records byte-for-byte and drops evicted
+// jobs and torn tails.
+func TestJournalCompactionPreservesKeptBytes(t *testing.T) {
+	dir := t.TempDir()
+	path := JournalPath(dir)
+	keepLines := []string{
+		`{"kind":"spec","id":"j-000002","spec":{"kind":"guardband","benchmark":"sha","ambient_c":30}}`,
+		`{"kind":"event","id":"j-000002","event":{"seq":1,"type":"state","state":"queued"}}`,
+		`{"kind":"state","id":"j-000002","state":"done","attempt":1,"result":{"fmax_mhz":123.456789}}`,
+	}
+	appendLines(t, path,
+		`{"kind":"spec","id":"j-000001","spec":{"kind":"guardband","benchmark":"sha","ambient_c":25}}`+"\n",
+		keepLines[0]+"\n",
+		`{"kind":"state","id":"j-000001","state":"done","attempt":1,"result":{"x":1}}`+"\n",
+		keepLines[1]+"\n",
+		keepLines[2]+"\n",
+		`{"kind":"state","id":"j-000001","state":"torn`, // tail to be dropped
+	)
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.CompactKeep(map[string]bool{"j-000002": true}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join(keepLines, "\n") + "\n"
+	if string(data) != want {
+		t.Fatalf("compacted journal:\n%s\nwant:\n%s", data, want)
+	}
+
+	// The reopened append handle must keep working on the compacted file.
+	if err := j.Append(Record{Kind: recordState, ID: "j-000002", State: StateDone}, true); err != nil {
+		t.Fatalf("append after compact: %v", err)
+	}
+	recs, damaged, err := ReadJournal(path)
+	if err != nil || damaged || len(recs) != 4 {
+		t.Fatalf("after compact+append: recs=%d damaged=%t err=%v", len(recs), damaged, err)
+	}
+}

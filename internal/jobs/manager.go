@@ -2,8 +2,13 @@ package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -11,7 +16,8 @@ import (
 )
 
 // State is a job's lifecycle position: queued → running → done | failed |
-// cancelled.
+// cancelled. A transiently failed job cycles back to queued (with a retry
+// event) until its attempt budget runs out.
 type State string
 
 const (
@@ -31,16 +37,26 @@ func (s State) Terminal() bool {
 const (
 	EventState    = "state"
 	EventProgress = "progress"
+	// EventRetry marks a transient failure about to be retried after a
+	// backoff; Attempt is the attempt that failed, BackoffMs the wait.
+	EventRetry = "retry"
+	// EventRecovered marks a job re-enqueued by journal replay after a
+	// daemon restart.
+	EventRecovered = "recovered"
 )
 
-// Event is one line of a job's NDJSON progress stream: either a state
-// transition or one Algorithm-1 iteration of one benchmark run.
+// Event is one line of a job's NDJSON progress stream: a state transition,
+// a retry/recovery marker, or one Algorithm-1 iteration of one benchmark
+// run.
 type Event struct {
 	Seq  int    `json:"seq"`
 	Type string `json:"type"`
 	// State transition fields.
 	State State  `json:"state,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Retry/recovery fields.
+	Attempt   int   `json:"attempt,omitempty"`
+	BackoffMs int64 `json:"backoff_ms,omitempty"`
 	// Progress fields (one Algorithm-1 iteration).
 	Benchmark string  `json:"benchmark,omitempty"`
 	Iteration int     `json:"iteration,omitempty"`
@@ -70,6 +86,15 @@ type Options struct {
 	Now func() time.Time
 	// Registry, when set, receives the manager's metrics.
 	Registry *obs.Registry
+	// Journal, when non-nil, makes the manager durable: accepted specs,
+	// state transitions, and events are written ahead (transitions fsync'd)
+	// and replayed on the next New over the same journal — finished jobs
+	// come back with their results byte-identical, queued and running jobs
+	// are re-enqueued. The caller keeps ownership and closes it after
+	// Close/Drain.
+	Journal *Journal
+	// Retry bounds transient-failure retry (zero value: no retry).
+	Retry RetryPolicy
 }
 
 // Sentinel errors, mapped to HTTP statuses by the server.
@@ -90,7 +115,14 @@ type job struct {
 	cancel context.CancelFunc
 	// cancelRequested distinguishes a user cancellation from a failure
 	// that happens to wrap context.Canceled.
-	cancelRequested            bool
+	cancelRequested bool
+	// attempt counts run attempts started (1 on the first run).
+	attempt int
+	// recovered marks a job re-enqueued by journal replay.
+	recovered bool
+	// retryTimer is non-nil while the job waits out a retry backoff; the
+	// job is in state queued but not yet on the queue.
+	retryTimer                 *time.Timer
 	created, started, finished time.Time
 	result                     any
 	errMsg                     string
@@ -106,15 +138,24 @@ type View struct {
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
-	Result   any        `json:"result,omitempty"`
-	Error    string     `json:"error,omitempty"`
+	// Attempts counts run attempts started so far (absent before the first).
+	Attempts int `json:"attempts,omitempty"`
+	// Recovered marks a job that survived a daemon restart via the journal.
+	Recovered bool   `json:"recovered,omitempty"`
+	Result    any    `json:"result,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // metrics bundles the manager's instruments.
 type metrics struct {
 	submitted, deduped           *obs.Counter
 	completed, failed, cancelled *obs.Counter
+	retried, recovered, restored *obs.Counter
+	journalRecords               *obs.Counter
+	journalErrors                *obs.Counter
+	journalCompactions           *obs.Counter
 	queuedGauge, runningGauge    *obs.Gauge
+	retryWaitGauge               *obs.Gauge
 	duration                     *obs.Histogram
 }
 
@@ -123,14 +164,21 @@ func newMetrics(r *obs.Registry) *metrics {
 		r = obs.NewRegistry() // throwaway: instruments still work, nothing scrapes them
 	}
 	return &metrics{
-		submitted:    r.Counter("tafpgad_jobs_submitted_total", "Jobs accepted by POST /v1/jobs (deduped submissions included)."),
-		deduped:      r.Counter("tafpgad_jobs_deduped_total", "Submissions coalesced onto an already queued or running identical job."),
-		completed:    r.Counter("tafpgad_jobs_completed_total", "Jobs that finished successfully."),
-		failed:       r.Counter("tafpgad_jobs_failed_total", "Jobs that finished with an error."),
-		cancelled:    r.Counter("tafpgad_jobs_cancelled_total", "Jobs cancelled before completion."),
-		queuedGauge:  r.Gauge("tafpgad_jobs_queued", "Jobs waiting in the FIFO queue."),
-		runningGauge: r.Gauge("tafpgad_jobs_running", "Jobs currently executing."),
-		duration:     r.Histogram("tafpgad_job_duration_seconds", "Wall time of finished jobs, start to finish.", nil),
+		submitted:          r.Counter("tafpgad_jobs_submitted_total", "Jobs accepted by POST /v1/jobs (deduped submissions included)."),
+		deduped:            r.Counter("tafpgad_jobs_deduped_total", "Submissions coalesced onto an already queued or running identical job."),
+		completed:          r.Counter("tafpgad_jobs_completed_total", "Jobs that finished successfully."),
+		failed:             r.Counter("tafpgad_jobs_failed_total", "Jobs that finished with an error."),
+		cancelled:          r.Counter("tafpgad_jobs_cancelled_total", "Jobs cancelled before completion."),
+		retried:            r.Counter("tafpgad_jobs_retried_total", "Transient job failures re-enqueued with backoff."),
+		recovered:          r.Counter("tafpgad_jobs_recovered_total", "Interrupted jobs re-enqueued by journal replay at startup."),
+		restored:           r.Counter("tafpgad_jobs_restored_total", "Finished jobs restored (with results) by journal replay at startup."),
+		journalRecords:     r.Counter("tafpgad_journal_records_total", "Records appended to the write-ahead journal."),
+		journalErrors:      r.Counter("tafpgad_journal_errors_total", "Journal appends or compactions that failed (durability degraded)."),
+		journalCompactions: r.Counter("tafpgad_journal_compactions_total", "Journal compactions (TTL eviction and startup cleanup)."),
+		queuedGauge:        r.Gauge("tafpgad_jobs_queued", "Jobs waiting in the FIFO queue."),
+		runningGauge:       r.Gauge("tafpgad_jobs_running", "Jobs currently executing."),
+		retryWaitGauge:     r.Gauge("tafpgad_jobs_retry_waiting", "Jobs waiting out a retry backoff."),
+		duration:           r.Histogram("tafpgad_job_duration_seconds", "Wall time of finished jobs, start to finish.", nil),
 	}
 }
 
@@ -143,23 +191,31 @@ type Manager struct {
 	ttl      time.Duration
 	now      func() time.Time
 	m        *metrics
+	journal  *Journal
+	retry    RetryPolicy
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []*job
-	jobs     map[string]*job
-	byKey    map[string]*job // queued or running jobs, by canonical spec key
-	nextID   int
-	running  int
-	draining bool
-	closed   bool
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	cond      *sync.Cond
+	rng       *rand.Rand
+	queue     []*job
+	jobs      map[string]*job
+	byKey     map[string]*job // queued or running jobs, by canonical spec key
+	nextID    int
+	running   int
+	retryWait int
+	restored  int
+	requeued  int
+	draining  bool
+	closed    bool
+	wg        sync.WaitGroup
 }
 
-// New starts a manager with its worker pool.
+// New starts a manager with its worker pool. When Options.Journal is set,
+// the journal is replayed first: finished jobs are restored with their
+// results, interrupted jobs are re-enqueued ahead of new traffic.
 func New(run RunFunc, o Options) *Manager {
 	if o.Workers <= 0 {
 		o.Workers = 1
@@ -181,17 +237,31 @@ func New(run RunFunc, o Options) *Manager {
 		ttl:        o.TTL,
 		now:        o.Now,
 		m:          newMetrics(o.Registry),
+		journal:    o.Journal,
+		retry:      o.Retry.normalized(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		rng:        rand.New(rand.NewSource(o.Now().UnixNano())),
 		jobs:       map[string]*job{},
 		byKey:      map[string]*job{},
 	}
 	m.cond = sync.NewCond(&m.mu)
+	if m.journal != nil {
+		m.replayJournal()
+	}
 	m.wg.Add(o.Workers)
 	for i := 0; i < o.Workers; i++ {
 		go m.worker()
 	}
 	return m
+}
+
+// RecoveryStats reports what journal replay rebuilt: finished jobs restored
+// with results, and interrupted jobs re-enqueued.
+func (m *Manager) RecoveryStats() (restored, requeued int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.restored, m.requeued
 }
 
 // Submit validates and enqueues a spec. When an identical spec (by
@@ -232,7 +302,9 @@ func (m *Manager) Submit(spec Spec) (View, bool, error) {
 	m.queue = append(m.queue, j)
 	m.m.submitted.Inc()
 	m.m.queuedGauge.Set(float64(len(m.queue)))
+	m.journalAppend(Record{Kind: recordSpec, ID: j.id, Spec: &spec, Key: key, Created: j.created}, false)
 	m.emitLocked(j, Event{Type: EventState, State: StateQueued})
+	m.journalStateLocked(j, "", nil, true)
 	m.cond.Signal()
 	return m.viewLocked(j), false, nil
 }
@@ -261,18 +333,14 @@ func (m *Manager) List() []View {
 	}
 	// Job IDs are zero-padded sequence numbers: lexicographic = creation
 	// order.
-	for i := 1; i < len(out); i++ {
-		for k := i; k > 0 && out[k].ID < out[k-1].ID; k-- {
-			out[k], out[k-1] = out[k-1], out[k]
-		}
-	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out
 }
 
-// Cancel stops a job: a queued job is removed from the queue immediately, a
-// running job has its context cancelled and transitions when the runner
-// observes it (between Algorithm-1 iterations). Cancelling a finished job
-// returns ErrFinished.
+// Cancel stops a job: a queued job is removed from the queue (or its retry
+// timer is stopped) immediately, a running job has its context cancelled and
+// transitions when the runner observes it (between Algorithm-1 iterations).
+// Cancelling a finished job returns ErrFinished.
 func (m *Manager) Cancel(id string) (View, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -287,6 +355,12 @@ func (m *Manager) Cancel(id string) (View, error) {
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
 				break
 			}
+		}
+		if j.retryTimer != nil && j.retryTimer.Stop() {
+			// Waiting out a backoff: the timer will never fire now.
+			j.retryTimer = nil
+			m.retryWait--
+			m.m.retryWaitGauge.Set(float64(m.retryWait))
 		}
 		m.m.queuedGauge.Set(float64(len(m.queue)))
 		j.cancelRequested = true
@@ -330,10 +404,10 @@ func (m *Manager) Subscribe(id string) ([]Event, <-chan Event, func(), error) {
 	return history, ch, cancel, nil
 }
 
-// Drain stops intake and waits for the queue and all running jobs to
-// finish. If ctx expires first, in-flight jobs are hard-cancelled (their
-// contexts fire, Algorithm 1 stops at the next iteration boundary) and
-// Drain waits for the workers to observe it.
+// Drain stops intake and waits for the queue, all running jobs, and all
+// retry backoffs to finish. If ctx expires first, in-flight jobs are
+// hard-cancelled (their contexts fire, Algorithm 1 stops at the next
+// iteration boundary) and Drain waits for the workers to observe it.
 func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	m.draining = true
@@ -344,7 +418,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 		defer close(done)
 		m.mu.Lock()
 		defer m.mu.Unlock()
-		for len(m.queue) > 0 || m.running > 0 {
+		for len(m.queue) > 0 || m.running > 0 || m.retryWait > 0 {
 			m.cond.Wait()
 		}
 	}()
@@ -362,8 +436,10 @@ func (m *Manager) Drain(ctx context.Context) error {
 
 // Close terminates the worker pool without waiting for queued work: running
 // jobs are hard-cancelled and finish as cancelled at their next context
-// check (Drain calls Close only after the queue empties, so a graceful stop
-// cancels nothing). Idempotent.
+// check, and jobs waiting out a retry backoff are finished as cancelled on
+// the spot — their subscriber channels close, so no NDJSON stream outlives
+// the manager (Drain calls Close only after everything finishes, so a
+// graceful stop cancels nothing). Idempotent.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -372,6 +448,16 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	for _, j := range m.jobs {
+		if j.retryTimer != nil && j.retryTimer.Stop() {
+			j.retryTimer = nil
+			m.retryWait--
+			m.m.retryWaitGauge.Set(float64(m.retryWait))
+			m.finishLocked(j, StateCancelled, nil, "manager closed during retry backoff")
+		}
+		// A timer whose Stop lost the race is already firing: its callback
+		// observes closed under the lock and finishes the job itself.
+	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	m.baseCancel()
@@ -396,10 +482,12 @@ func (m *Manager) worker() {
 		jctx, cancel := context.WithCancel(m.baseCtx)
 		j.cancel = cancel
 		j.state = StateRunning
+		j.attempt++
 		j.started = m.now()
 		m.running++
 		m.m.runningGauge.Set(float64(m.running))
-		m.emitLocked(j, Event{Type: EventState, State: StateRunning})
+		m.emitLocked(j, Event{Type: EventState, State: StateRunning, Attempt: j.attempt})
+		m.journalStateLocked(j, "", nil, true)
 		m.mu.Unlock()
 
 		emit := func(e Event) {
@@ -419,6 +507,8 @@ func (m *Manager) worker() {
 			m.finishLocked(j, StateDone, result, "")
 		case j.cancelRequested || errors.Is(err, context.Canceled):
 			m.finishLocked(j, StateCancelled, nil, err.Error())
+		case Classify(err) == ClassTransient && j.attempt < m.retry.MaxAttempts && !m.closed:
+			m.retryLocked(j, err)
 		default:
 			m.finishLocked(j, StateFailed, nil, err.Error())
 		}
@@ -428,9 +518,52 @@ func (m *Manager) worker() {
 	}
 }
 
+// retryLocked re-queues a transiently failed job after a backoff: the job
+// returns to queued, a retry event carries the cause and the wait, and a
+// timer puts it back on the queue. Caller holds m.mu.
+func (m *Manager) retryLocked(j *job, cause error) {
+	j.state = StateQueued
+	delay := m.retry.backoff(j.attempt, m.rng)
+	m.m.retried.Inc()
+	m.emitLocked(j, Event{
+		Type: EventRetry, Error: cause.Error(),
+		Attempt: j.attempt, BackoffMs: delay.Milliseconds(),
+	})
+	m.journalStateLocked(j, cause.Error(), nil, true)
+	m.retryWait++
+	m.m.retryWaitGauge.Set(float64(m.retryWait))
+	j.retryTimer = time.AfterFunc(delay, func() { m.requeueAfterBackoff(j) })
+}
+
+// requeueAfterBackoff is the retry timer's callback: it puts the job back on
+// the queue, or finishes it as cancelled when the manager closed while the
+// backoff ran.
+func (m *Manager) requeueAfterBackoff(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.retryTimer == nil {
+		return // Cancel or Close already settled this job
+	}
+	j.retryTimer = nil
+	m.retryWait--
+	m.m.retryWaitGauge.Set(float64(m.retryWait))
+	if m.closed {
+		m.finishLocked(j, StateCancelled, nil, "manager closed during retry backoff")
+		m.cond.Broadcast()
+		return
+	}
+	if j.state != StateQueued {
+		return // settled concurrently
+	}
+	m.queue = append(m.queue, j)
+	m.m.queuedGauge.Set(float64(len(m.queue)))
+	m.cond.Broadcast()
+}
+
 // finishLocked moves a job to a terminal state: records the outcome, drops
-// the dedup slot, updates metrics, emits the final event, and closes every
-// subscriber. Caller holds m.mu.
+// the dedup slot, updates metrics, emits the final event, journals the
+// transition (with the marshaled result, so replay serves it byte-identical
+// without recompute), and closes every subscriber. Caller holds m.mu.
 func (m *Manager) finishLocked(j *job, s State, result any, errMsg string) {
 	j.state = s
 	j.result = result
@@ -452,19 +585,30 @@ func (m *Manager) finishLocked(j *job, s State, result any, errMsg string) {
 	}
 	m.m.duration.Observe(j.finished.Sub(j.started).Seconds())
 	m.emitLocked(j, Event{Type: EventState, State: s, Error: errMsg})
+	var raw json.RawMessage
+	if result != nil {
+		if b, err := json.Marshal(result); err == nil {
+			raw = b
+		}
+	}
+	m.journalStateLocked(j, errMsg, raw, true)
 	for ch := range j.subs {
 		close(ch)
 		delete(j.subs, ch)
 	}
 }
 
-// emitLocked appends an event to the job's history and fans it out to
-// subscribers. A subscriber that cannot keep up (full channel) loses the
-// event from its stream but never blocks the worker; the history keeps
-// everything. Caller holds m.mu.
+// emitLocked appends an event to the job's history, journals it, and fans
+// it out to subscribers. A subscriber that cannot keep up (full channel)
+// loses the event from its stream but never blocks the worker; the history
+// keeps everything. Caller holds m.mu.
 func (m *Manager) emitLocked(j *job, e Event) {
 	e.Seq = len(j.events) + 1
 	j.events = append(j.events, e)
+	if m.journal != nil {
+		ev := e
+		m.journalAppend(Record{Kind: recordEvent, ID: j.id, Event: &ev}, false)
+	}
 	for ch := range j.subs {
 		select {
 		case ch <- e:
@@ -473,15 +617,78 @@ func (m *Manager) emitLocked(j *job, e Event) {
 	}
 }
 
-// evictExpiredLocked drops finished jobs older than the TTL. Caller holds
+// journalAppend writes one record, counting failures instead of surfacing
+// them: the journal is the durability layer, not the serving path, and a
+// full disk must degrade recovery, not take the API down.
+func (m *Manager) journalAppend(rec Record, sync bool) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.Append(rec, sync); err != nil {
+		m.m.journalErrors.Inc()
+		return
+	}
+	m.m.journalRecords.Inc()
+}
+
+// journalStateLocked appends (and fsyncs, when sync) the job's current
+// state as a transition record. Caller holds m.mu.
+func (m *Manager) journalStateLocked(j *job, errMsg string, result json.RawMessage, sync bool) {
+	if m.journal == nil {
+		return
+	}
+	rec := Record{
+		Kind: recordState, ID: j.id, State: j.state,
+		Attempt: j.attempt, Error: errMsg, Result: result,
+	}
+	switch {
+	case j.state.Terminal():
+		rec.At = j.finished
+	case j.state == StateRunning:
+		rec.At = j.started
+	default:
+		rec.At = m.now()
+	}
+	m.journalAppend(rec, sync)
+}
+
+// evictExpiredLocked drops finished jobs older than the TTL, closing any
+// subscriber channel still attached so no NDJSON stream hangs on an evicted
+// job, and compacts the journal when anything was dropped. Caller holds
 // m.mu.
 func (m *Manager) evictExpiredLocked() {
 	cutoff := m.now().Add(-m.ttl)
+	evicted := 0
 	for id, j := range m.jobs {
 		if j.state.Terminal() && j.finished.Before(cutoff) {
+			for ch := range j.subs {
+				close(ch)
+				delete(j.subs, ch)
+			}
 			delete(m.jobs, id)
+			evicted++
 		}
 	}
+	if evicted > 0 {
+		m.compactJournalLocked()
+	}
+}
+
+// compactJournalLocked rewrites the journal down to the records of jobs
+// still in the store. Caller holds m.mu.
+func (m *Manager) compactJournalLocked() {
+	if m.journal == nil {
+		return
+	}
+	keep := make(map[string]bool, len(m.jobs))
+	for id := range m.jobs {
+		keep[id] = true
+	}
+	if err := m.journal.CompactKeep(keep); err != nil {
+		m.m.journalErrors.Inc()
+		return
+	}
+	m.m.journalCompactions.Inc()
 }
 
 // EvictExpired runs a TTL sweep immediately (the server's janitor; Submit
@@ -492,10 +699,117 @@ func (m *Manager) EvictExpired() {
 	m.evictExpiredLocked()
 }
 
+// replayJournal rebuilds the store from the write-ahead journal: terminal
+// jobs come back with their marshaled results (served without recompute),
+// queued and running jobs are re-enqueued — a job killed mid-run restarts
+// from its journaled spec, and the content-keyed flow cache makes the re-run
+// cheap. Runs before the workers start, so no locking is needed.
+func (m *Manager) replayJournal() {
+	recs, damaged, err := ReadJournal(m.journal.Path())
+	if err != nil {
+		m.m.journalErrors.Inc()
+		return
+	}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case recordSpec:
+			if rec.Spec == nil || rec.ID == "" {
+				continue
+			}
+			if _, ok := m.jobs[rec.ID]; ok {
+				continue
+			}
+			m.jobs[rec.ID] = &job{
+				id: rec.ID, spec: *rec.Spec, key: rec.Spec.Key(),
+				state: StateQueued, created: rec.Created,
+				subs: map[chan Event]struct{}{},
+			}
+			if n, err := strconv.Atoi(strings.TrimPrefix(rec.ID, "j-")); err == nil && n > m.nextID {
+				m.nextID = n
+			}
+		case recordState:
+			j, ok := m.jobs[rec.ID]
+			if !ok {
+				continue
+			}
+			j.state = rec.State
+			if rec.Attempt > 0 {
+				j.attempt = rec.Attempt
+			}
+			switch {
+			case rec.State == StateRunning:
+				j.started = rec.At
+			case rec.State.Terminal():
+				j.finished = rec.At
+				j.errMsg = rec.Error
+				if rec.Result != nil {
+					j.result = rec.Result
+				}
+			}
+		case recordEvent:
+			if j, ok := m.jobs[rec.ID]; ok && rec.Event != nil {
+				j.events = append(j.events, *rec.Event)
+			}
+		}
+	}
+
+	// TTL-expired terminal jobs are not worth restoring.
+	cutoff := m.now().Add(-m.ttl)
+	evicted := 0
+	for id, j := range m.jobs {
+		if j.state.Terminal() && j.finished.Before(cutoff) {
+			delete(m.jobs, id)
+			evicted++
+		}
+	}
+
+	// Re-enqueue interrupted jobs in creation order.
+	var pending []*job
+	for _, j := range m.jobs {
+		if j.state.Terminal() {
+			m.restored++
+			continue
+		}
+		pending = append(pending, j)
+	}
+	sort.Slice(pending, func(a, b int) bool { return pending[a].id < pending[b].id })
+	m.m.restored.Add(float64(m.restored))
+
+	// Drop the torn tail and evicted jobs before appending recovery records.
+	if damaged || evicted > 0 {
+		m.compactJournalLocked()
+	}
+	for _, j := range pending {
+		j.recovered = true
+		j.state = StateQueued
+		if _, ok := m.byKey[j.key]; ok {
+			// Two interrupted jobs with one key cannot both run (the dedup
+			// invariant); keep the older, fail the newer.
+			m.finishLocked(j, StateFailed, nil, "duplicate of a recovered job")
+			continue
+		}
+		m.byKey[j.key] = j
+		m.queue = append(m.queue, j)
+		m.requeued++
+		m.m.recovered.Inc()
+		m.emitLocked(j, Event{Type: EventRecovered, Attempt: j.attempt})
+		m.emitLocked(j, Event{Type: EventState, State: StateQueued})
+		m.journalStateLocked(j, "", nil, false)
+	}
+	if len(pending) > 0 {
+		// One fsync covers every recovery record appended above.
+		if err := m.journal.Sync(); err != nil {
+			m.m.journalErrors.Inc()
+		}
+	}
+	m.m.queuedGauge.Set(float64(len(m.queue)))
+}
+
 // viewLocked renders a job. Caller holds m.mu.
 func (m *Manager) viewLocked(j *job) View {
 	v := View{
 		ID: j.id, Spec: j.spec, State: j.state, Created: j.created,
+		Attempts: j.attempt, Recovered: j.recovered,
 		Result: j.result, Error: j.errMsg,
 	}
 	if !j.started.IsZero() {

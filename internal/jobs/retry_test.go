@@ -1,0 +1,300 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tafpga/internal/faults"
+	"tafpga/internal/obs"
+)
+
+// fastRetry is a retry policy with test-scale backoffs.
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+}
+
+func TestClassify(t *testing.T) {
+	faults.Enable("p=1", 1)
+	t.Cleanup(faults.Disable)
+	injected := fmt.Errorf("experiments: sha: %w", fmt.Errorf("flow: place: %w", faults.Check("p")))
+	cases := []struct {
+		err  error
+		want ErrClass
+	}{
+		{errors.New("jobs: unknown benchmark"), ClassPermanent},
+		{fmt.Errorf("guardband: cancelled: %w", context.Canceled), ClassCanceled},
+		{fmt.Errorf("flow: place: %w", context.DeadlineExceeded), ClassTransient},
+		{injected, ClassTransient},
+		{Transient(errors.New("flaky backend")), ClassTransient},
+		{fmt.Errorf("wrapped: %w", Transient(errors.New("flaky"))), ClassTransient},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %s, want %s", c.err, got, c.want)
+		}
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second}.normalized()
+	rng := rand.New(rand.NewSource(1))
+	prevMax := time.Duration(0)
+	for attempt := 1; attempt <= 8; attempt++ {
+		exp := p.BaseBackoff << (attempt - 1)
+		if exp > p.MaxBackoff {
+			exp = p.MaxBackoff
+		}
+		for i := 0; i < 32; i++ {
+			d := p.backoff(attempt, rng)
+			if d < exp/2 || d > exp {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, exp/2, exp)
+			}
+		}
+		if exp < prevMax {
+			t.Fatalf("backoff window shrank at attempt %d", attempt)
+		}
+		prevMax = exp
+	}
+}
+
+// TestTransientFailureRetriedUntilSuccess: a run that fails transiently
+// twice and then succeeds must finish done, with the retries visible in the
+// event stream, the view's attempt count, and the metrics.
+func TestTransientFailureRetriedUntilSuccess(t *testing.T) {
+	var runs atomic.Int64
+	run := func(ctx context.Context, spec Spec, emit func(Event)) (any, error) {
+		if runs.Add(1) <= 2 {
+			return nil, fmt.Errorf("experiments: sha: %w", Transient(errors.New("flaky")))
+		}
+		return "ok", nil
+	}
+	reg := obs.NewRegistry()
+	m := New(run, Options{Retry: fastRetry(5), Registry: reg})
+	defer m.Close()
+	v, _, err := m.Submit(validSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, v.ID, StateDone)
+	if got.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", got.Attempts)
+	}
+	if runs.Load() != 3 {
+		t.Fatalf("runs = %d", runs.Load())
+	}
+	history, _, cancel, _ := m.Subscribe(v.ID)
+	cancel()
+	retries := 0
+	for _, e := range history {
+		if e.Type == EventRetry {
+			retries++
+			if e.Attempt == 0 || e.BackoffMs < 0 || e.Error == "" {
+				t.Fatalf("malformed retry event: %+v", e)
+			}
+		}
+	}
+	if retries != 2 {
+		t.Fatalf("retry events = %d, want 2", retries)
+	}
+	if got := reg.Counter("tafpgad_jobs_retried_total", "").Value(); got != 2 {
+		t.Fatalf("retried_total = %g, want 2", got)
+	}
+}
+
+// TestRetryBudgetExhaustedFails: a job that keeps failing transiently fails
+// for real once its attempts run out.
+func TestRetryBudgetExhaustedFails(t *testing.T) {
+	var runs atomic.Int64
+	run := func(ctx context.Context, spec Spec, emit func(Event)) (any, error) {
+		runs.Add(1)
+		return nil, Transient(errors.New("always flaky"))
+	}
+	m := New(run, Options{Retry: fastRetry(3)})
+	defer m.Close()
+	v, _, _ := m.Submit(validSpec(1))
+	got := waitState(t, m, v.ID, StateFailed)
+	if got.Attempts != 3 || runs.Load() != 3 {
+		t.Fatalf("attempts = %d, runs = %d, want 3/3", got.Attempts, runs.Load())
+	}
+}
+
+// TestPermanentFailureFailsFast: non-transient errors are never retried.
+func TestPermanentFailureFailsFast(t *testing.T) {
+	var runs atomic.Int64
+	run := func(ctx context.Context, spec Spec, emit func(Event)) (any, error) {
+		runs.Add(1)
+		return nil, errors.New("jobs: unrunnable spec")
+	}
+	m := New(run, Options{Retry: fastRetry(5)})
+	defer m.Close()
+	v, _, _ := m.Submit(validSpec(1))
+	waitState(t, m, v.ID, StateFailed)
+	if runs.Load() != 1 {
+		t.Fatalf("permanent failure ran %d times", runs.Load())
+	}
+}
+
+// TestCancelDuringBackoff: cancelling a job waiting out its retry backoff
+// settles it immediately and closes its subscribers.
+func TestCancelDuringBackoff(t *testing.T) {
+	run := func(ctx context.Context, spec Spec, emit func(Event)) (any, error) {
+		return nil, Transient(errors.New("flaky"))
+	}
+	m := New(run, Options{Retry: RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Hour, MaxBackoff: time.Hour}})
+	defer m.Close()
+	v, _, _ := m.Submit(validSpec(1))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _ := m.Get(v.ID)
+		if got.Attempts == 1 && got.State == StateQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never entered backoff: %+v", got)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_, live, cancelSub, err := m.Subscribe(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelSub()
+	if _, err := m.Cancel(v.ID); err != nil {
+		t.Fatalf("cancel during backoff: %v", err)
+	}
+	got, _ := m.Get(v.ID)
+	if got.State != StateCancelled {
+		t.Fatalf("state after cancel = %s", got.State)
+	}
+	select {
+	case _, ok := <-live:
+		for ok {
+			_, ok = <-live
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber channel not closed after cancel during backoff")
+	}
+}
+
+// TestCloseDuringBackoffClosesSubscribers is the leak regression for the
+// serving path: a manager closed while a job waits out a backoff must not
+// leave that job's NDJSON subscribers hanging on a never-closed channel.
+func TestCloseDuringBackoffClosesSubscribers(t *testing.T) {
+	run := func(ctx context.Context, spec Spec, emit func(Event)) (any, error) {
+		return nil, Transient(errors.New("flaky"))
+	}
+	m := New(run, Options{Retry: RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Hour, MaxBackoff: time.Hour}})
+	v, _, _ := m.Submit(validSpec(1))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _ := m.Get(v.ID)
+		if got.Attempts == 1 && got.State == StateQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never entered backoff: %+v", got)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_, live, cancelSub, err := m.Subscribe(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelSub()
+	m.Close()
+	drainDeadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-live:
+			if !ok {
+				got, _ := m.Get(v.ID)
+				if got.State != StateCancelled {
+					t.Fatalf("backoff job after Close = %s", got.State)
+				}
+				return
+			}
+		case <-drainDeadline:
+			t.Fatal("subscriber channel not closed by Close during backoff")
+		}
+	}
+}
+
+// TestDrainWaitsForBackoffJobs: Drain must not return while a job is
+// waiting out its retry backoff — the retry budget is part of the job.
+func TestDrainWaitsForBackoffJobs(t *testing.T) {
+	var runs atomic.Int64
+	run := func(ctx context.Context, spec Spec, emit func(Event)) (any, error) {
+		if runs.Add(1) == 1 {
+			return nil, Transient(errors.New("flaky"))
+		}
+		return "ok", nil
+	}
+	m := New(run, Options{Retry: RetryPolicy{MaxAttempts: 2, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}})
+	v, _, _ := m.Submit(validSpec(1))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _ := m.Get(v.ID)
+		if got.Attempts >= 1 && got.State == StateQueued {
+			break
+		}
+		if got.State == StateDone {
+			t.Skip("retry finished before drain could be tested")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never entered backoff: %+v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	got, _ := m.Get(v.ID)
+	if got.State != StateDone {
+		t.Fatalf("drained job = %s (%s), want done", got.State, got.Error)
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("runs = %d, want 2", runs.Load())
+	}
+}
+
+// TestEvictionClosesSubscriberChannels is the regression for the TTL leak:
+// eviction must close any subscriber channel still attached to the job, or
+// the NDJSON stream behind it hangs forever instead of terminating.
+func TestEvictionClosesSubscriberChannels(t *testing.T) {
+	clock := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	now := func() time.Time { return clock }
+	m := New(stubRun(&atomic.Int64{}, nil), Options{TTL: time.Minute, Now: now})
+	defer m.Close()
+	v, _, _ := m.Submit(validSpec(1))
+	waitState(t, m, v.ID, StateDone)
+
+	// Wedge a live subscriber onto the finished job — the shape left behind
+	// when a stream attaches as the job finishes and the terminal close is
+	// missed. Eviction must sweep it, not strand it.
+	ch := make(chan Event, 1)
+	m.mu.Lock()
+	j := m.jobs[v.ID]
+	j.subs[ch] = struct{}{}
+	m.mu.Unlock()
+
+	clock = clock.Add(2 * time.Minute)
+	m.EvictExpired()
+	if _, ok := m.Get(v.ID); ok {
+		t.Fatal("job not evicted")
+	}
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("expected closed channel, got event")
+		}
+	default:
+		t.Fatal("subscriber channel left open by eviction")
+	}
+}

@@ -108,6 +108,30 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// HistogramSnapshot is a point-in-time copy of a histogram in which the
+// bucket counts, sum, and count are mutually consistent: they were taken
+// under one lock acquisition, so sum(Counts) == Count and Sum reflects
+// exactly those observations. Separate Count()/Sum() calls cannot promise
+// that — an Observe can land between them.
+type HistogramSnapshot struct {
+	Bounds []float64 // ascending upper bounds; +Inf is implicit
+	Counts []uint64  // non-cumulative per bucket, len(Bounds)+1
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot returns a consistent copy of the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.total,
+	}
+}
+
 // DefBuckets are the default latency buckets (seconds), spanning the
 // millisecond-to-minutes range a guardband job can take.
 var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
@@ -250,16 +274,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case *Gauge:
 				fmt.Fprintf(&b, "%s%s %s\n", f.name, braced(labels), formatVal(v.Value()))
 			case *Histogram:
-				v.mu.Lock()
+				// Render from a snapshot: the histogram lock is held only
+				// for the copy, not the formatting, and every line of this
+				// series describes the same instant.
+				snap := v.Snapshot()
 				cum := uint64(0)
-				for i, bound := range v.bounds {
-					cum += v.counts[i]
+				for i, bound := range snap.Bounds {
+					cum += snap.Counts[i]
 					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, braced(joinLabels(labels, fmt.Sprintf(`le="%s"`, formatVal(bound)))), cum)
 				}
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, braced(joinLabels(labels, `le="+Inf"`)), v.total)
-				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, braced(labels), formatVal(v.sum))
-				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, braced(labels), v.total)
-				v.mu.Unlock()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, braced(joinLabels(labels, `le="+Inf"`)), snap.Count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, braced(labels), formatVal(snap.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, braced(labels), snap.Count)
 			}
 		}
 	}

@@ -1,0 +1,125 @@
+package obs
+
+// snapshot_test.go covers scrape consistency under concurrent observers:
+// every Snapshot and every rendered scrape must be internally consistent —
+// bucket counts, _sum, and _count describing one instant — no matter how
+// hard other goroutines hammer Observe.
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramSnapshotConsistent: with every observation equal to 1, any
+// consistent snapshot must satisfy sum == count and sum(buckets) == count
+// exactly. A torn read (counts from one instant, sum or total from another)
+// breaks the equalities.
+func TestHistogramSnapshotConsistent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("snap_test_seconds", "test", []float64{0.5, 2})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		snap := h.Snapshot()
+		var bucketTotal uint64
+		for _, c := range snap.Counts {
+			bucketTotal += c
+		}
+		if bucketTotal != snap.Count {
+			t.Fatalf("torn snapshot: bucket total %d != count %d", bucketTotal, snap.Count)
+		}
+		if snap.Sum != float64(snap.Count) {
+			t.Fatalf("torn snapshot: sum %g != count %d (all observations are 1)", snap.Sum, snap.Count)
+		}
+		if len(snap.Bounds)+1 != len(snap.Counts) {
+			t.Fatalf("snapshot shape: %d bounds, %d counts", len(snap.Bounds), len(snap.Counts))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// scrapeSeries extracts the value of one exact series line from a scrape.
+func scrapeSeries(t *testing.T, scrape, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(scrape, "\n") {
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+		if err != nil {
+			t.Fatalf("series %s: %v", series, err)
+		}
+		return v
+	}
+	t.Fatalf("series %s missing from scrape:\n%s", series, scrape)
+	return 0
+}
+
+// TestWritePrometheusConsistentUnderLoad scrapes the registry while
+// observer goroutines run and checks each rendered histogram is internally
+// consistent: the +Inf bucket, _count, and _sum all agree, and the
+// cumulative buckets are monotone.
+func TestWritePrometheusConsistentUnderLoad(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("scrape_test_seconds", "test", []float64{0.5, 2})
+	c := r.Counter("scrape_test_total", "test")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(1)
+					c.Inc()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		scrape := b.String()
+		count := scrapeSeries(t, scrape, "scrape_test_seconds_count")
+		sum := scrapeSeries(t, scrape, "scrape_test_seconds_sum")
+		inf := scrapeSeries(t, scrape, `scrape_test_seconds_bucket{le="+Inf"}`)
+		b05 := scrapeSeries(t, scrape, `scrape_test_seconds_bucket{le="0.5"}`)
+		b2 := scrapeSeries(t, scrape, `scrape_test_seconds_bucket{le="2"}`)
+		if inf != count {
+			t.Fatalf("torn scrape: +Inf bucket %g != count %g", inf, count)
+		}
+		if sum != count {
+			t.Fatalf("torn scrape: sum %g != count %g (all observations are 1)", sum, count)
+		}
+		if b05 > b2 || b2 > inf {
+			t.Fatalf("buckets not monotone: %g, %g, %g", b05, b2, inf)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

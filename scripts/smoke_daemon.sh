@@ -47,7 +47,11 @@ until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
 done
 curl -fsS "$BASE/healthz" >/dev/null || fail "/healthz unhealthy"
 
-SPEC='{"kind":"guardband","benchmark":"sha","ambient_c":25}'
+# bgm is one of the larger suite benchmarks: at the smoke scale it runs
+# long enough that the second submission reliably lands while the first
+# job is still queued or running (sha finishes in tens of milliseconds on
+# a fast machine, losing the dedup race to the second curl's startup).
+SPEC='{"kind":"guardband","benchmark":"bgm","ambient_c":25}'
 echo "submitting job twice (second must dedup)..." >&2
 R1="$(curl -fsS "$BASE/v1/jobs" -d "$SPEC")"
 R2="$(curl -fsS "$BASE/v1/jobs" -d "$SPEC")"

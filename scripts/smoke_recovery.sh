@@ -1,0 +1,192 @@
+#!/bin/sh
+# smoke_recovery.sh — crash-recovery smoke test of the tafpgad daemon.
+#
+# Exercises the durability path end to end:
+#
+#   1. Start tafpgad with -state-dir, run one job to completion (the
+#      reference result), submit a second job and SIGKILL the daemon while
+#      it is running.
+#   2. Restart over the same state dir: the finished job must come back
+#      byte-identical without recompute, the interrupted job must requeue,
+#      run, and (the flow being deterministic) produce the expected result.
+#   3. Start a third daemon with injected transient faults: the job must
+#      retry with backoff until the injection budget runs out, succeed with
+#      the reference result, and expose the retry count in /metrics and the
+#      event stream. An invalid spec must still fail fast with a 400.
+#
+# Environment:
+#   ADDR=host:port  listen address (default 127.0.0.1:18081)
+#   SCALE=f         benchmark scale (default 1/64, the test harness scale)
+#   TIMEOUT=n       per-phase budget in seconds (default 300)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:18081}"
+SCALE="${SCALE:-0.015625}"
+TIMEOUT="${TIMEOUT:-300}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+BIN="$WORK/tafpgad"
+STATE="$WORK/state"
+LOG="$WORK/daemon.log"
+PID=""
+
+fail() {
+	echo "smoke_recovery: FAIL: $*" >&2
+	echo "--- daemon log ---" >&2
+	cat "$LOG" >&2
+	exit 1
+}
+
+cleanup() {
+	[ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# start_daemon [extra flags...] — launches tafpgad and waits for /readyz.
+start_daemon() {
+	"$BIN" -addr "$ADDR" -scale "$SCALE" -w 104 -effort 0.3 -bench sha \
+		-drain 60s "$@" >"$LOG" 2>&1 &
+	PID=$!
+	i=0
+	until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
+		kill -0 "$PID" 2>/dev/null || fail "daemon died during warmup"
+		i=$((i + 1))
+		[ "$i" -le "$TIMEOUT" ] || fail "daemon not ready after ${TIMEOUT}s"
+		sleep 1
+	done
+}
+
+# poll_done id — polls a job until done, echoing the final view.
+poll_done() {
+	i=0
+	while :; do
+		VIEW="$(curl -fsS "$BASE/v1/jobs/$1")"
+		STATE_NOW="$(echo "$VIEW" | grep -o '"state":"[^"]*"' | head -1 | cut -d'"' -f4)"
+		case "$STATE_NOW" in
+		done)
+			echo "$VIEW"
+			return 0
+			;;
+		failed | cancelled) fail "job $1 ended $STATE_NOW: $VIEW" ;;
+		esac
+		i=$((i + 1))
+		[ "$i" -le "$TIMEOUT" ] || fail "job $1 still $STATE_NOW after ${TIMEOUT}s"
+		sleep 1
+	done
+}
+
+# job_id response — extracts the job id from a submit response.
+job_id() {
+	echo "$1" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4
+}
+
+# result_of view — extracts the result JSON. Both sides of every comparison
+# go through this same rule, so the byte-compare is exact and fair while
+# ignoring the run-dependent prefix (timestamps, attempt counts).
+result_of() {
+	echo "$1" | sed 's/.*"result"://'
+}
+
+# physics_of view — the result minus its Stats block: the guardband physics
+# is deterministic across recomputes, but Stats carries wall-clock probe
+# timings that legitimately vary run to run.
+physics_of() {
+	result_of "$1" | sed 's/,"Stats":.*//'
+}
+
+echo "building tafpgad..." >&2
+go build -o "$BIN" ./cmd/tafpgad
+
+SPEC_A='{"kind":"guardband","benchmark":"sha","ambient_c":25}'
+# The victim must still be running when the SIGKILL lands: bgm is one of
+# the larger suite benchmarks that still routes at the smoke channel width,
+# and a different benchmark than the reference so the in-process flow cache
+# cannot shortcut its place-and-route.
+SPEC_B='{"kind":"guardband","benchmark":"bgm","ambient_c":30}'
+
+# --- Phase 1: reference run, then SIGKILL mid-job -------------------------
+echo "phase 1: starting daemon with -state-dir $STATE..." >&2
+start_daemon -state-dir "$STATE"
+
+echo "running the reference job to completion..." >&2
+ID_A="$(job_id "$(curl -fsS "$BASE/v1/jobs" -d "$SPEC_A")")"
+[ -n "$ID_A" ] || fail "no job id for reference job"
+VIEW_A_BEFORE="$(poll_done "$ID_A")"
+RESULT_REF="$(result_of "$VIEW_A_BEFORE")"
+echo "$RESULT_REF" | grep -q '"' || fail "reference job has no result: $VIEW_A_BEFORE"
+
+echo "submitting the victim job and waiting for it to run..." >&2
+ID_B="$(job_id "$(curl -fsS "$BASE/v1/jobs" -d "$SPEC_B")")"
+[ -n "$ID_B" ] || fail "no job id for victim job"
+i=0
+while :; do
+	STATE_B="$(curl -fsS "$BASE/v1/jobs/$ID_B" | grep -o '"state":"[^"]*"' | head -1 | cut -d'"' -f4)"
+	[ "$STATE_B" = "running" ] && break
+	[ "$STATE_B" = "done" ] && fail "victim job finished before it could be killed; raise the benchmark scale"
+	i=$((i + 1))
+	[ "$i" -le $((TIMEOUT * 5)) ] || fail "victim job never started running"
+	sleep 0.2
+done
+
+echo "SIGKILL while $ID_B is running..." >&2
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+# --- Phase 2: restart, recover, verify ------------------------------------
+echo "phase 2: restarting over the same state dir..." >&2
+start_daemon -state-dir "$STATE"
+grep -qF "1 finished job(s) restored, 1 interrupted job(s) requeued" "$LOG" ||
+	fail "restart did not report the expected recovery stats"
+
+echo "checking the restored job serves byte-identical JSON..." >&2
+VIEW_A_AFTER="$(curl -fsS "$BASE/v1/jobs/$ID_A")"
+[ "$VIEW_A_AFTER" = "$VIEW_A_BEFORE" ] ||
+	fail "restored view differs:
+before: $VIEW_A_BEFORE
+after:  $VIEW_A_AFTER"
+
+echo "waiting for the requeued job to finish..." >&2
+VIEW_B="$(poll_done "$ID_B")"
+echo "$VIEW_B" | grep -q '"recovered":true' || fail "requeued job not marked recovered: $VIEW_B"
+curl -fsS "$BASE/v1/jobs/$ID_B/events" | grep -q '"type":"recovered"' ||
+	fail "requeued job's event stream has no recovered marker"
+
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | grep -qF "tafpgad_jobs_restored_total 1" || fail "/metrics missing restored_total 1"
+echo "$METRICS" | grep -qF "tafpgad_jobs_recovered_total 1" || fail "/metrics missing recovered_total 1"
+
+kill -TERM "$PID"
+wait "$PID" || fail "daemon exited non-zero on SIGTERM after recovery"
+PID=""
+
+# --- Phase 3: injected transient faults retry, then succeed ---------------
+echo "phase 3: daemon with injected faults (guardband.iter fails twice)..." >&2
+rm -rf "$STATE"
+start_daemon -state-dir "$STATE" -faults "guardband.iter=1:2" -retries 3 \
+	-retry-base 100ms -retry-max 1s
+
+ID_C="$(job_id "$(curl -fsS "$BASE/v1/jobs" -d "$SPEC_A")")"
+VIEW_C="$(poll_done "$ID_C")"
+echo "$VIEW_C" | grep -q '"attempts":3' || fail "faulted job attempts != 3: $VIEW_C"
+[ "$(physics_of "$VIEW_C")" = "$(physics_of "$VIEW_A_BEFORE")" ] ||
+	fail "result after retries differs from the uninterrupted reference:
+ref:    $(physics_of "$VIEW_A_BEFORE")
+faulty: $(physics_of "$VIEW_C")"
+curl -fsS "$BASE/v1/jobs/$ID_C/events" | grep -q '"type":"retry"' ||
+	fail "faulted job's event stream has no retry events"
+curl -fsS "$BASE/metrics" | grep -qF "tafpgad_jobs_retried_total 2" ||
+	fail "/metrics missing retried_total 2"
+
+echo "checking an invalid spec still fails fast..." >&2
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs" -d '{"kind":"guardband","benchmark":"nope","ambient_c":25}')"
+[ "$CODE" = "400" ] || fail "invalid spec returned $CODE, want 400"
+
+kill -TERM "$PID"
+wait "$PID" || fail "daemon exited non-zero on final SIGTERM"
+PID=""
+
+echo "smoke_recovery: PASS" >&2
