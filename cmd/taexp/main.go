@@ -50,6 +50,7 @@ func main() {
 	benchCSV := flag.String("bench", "", "comma-separated benchmark subset")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	parallel := flag.Int("parallel", 0, "benchmark fan-out workers (0 = GOMAXPROCS, 1 = serial)")
+	routeWorkers := flag.Int("route-workers", 0, "PathFinder search workers per flow build; byte-identical results (0 = GOMAXPROCS, 1 = serial)")
 	flowcache := flag.String("flowcache", "", "directory for the on-disk place-and-route cache (reused across runs)")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
@@ -106,6 +107,7 @@ func main() {
 	ctx.ChannelTracks = *width
 	ctx.PlaceEffort = *effort
 	ctx.Workers = *parallel
+	ctx.RouteWorkers = *routeWorkers
 	if *flowcache != "" {
 		ctx.FlowCache = flow.NewCache(*flowcache)
 	}

@@ -16,6 +16,8 @@
 //	-corner f     device sizing corner in °C (default 25)
 //	-ambient f    ambient temperature for guardbanding (default 25)
 //	-w n          router channel-width override (0 = Table I's 320)
+//	-route-workers n  PathFinder search workers (0 = GOMAXPROCS, 1 = serial);
+//	              the routed result is byte-identical for every value
 //	-effort f     placement effort (default 1.0)
 //	-seed n       random seed override (default: derived from the name)
 //	-blif path    write the generated netlist as BLIF to path
@@ -60,6 +62,7 @@ func main() {
 	corner := flag.Float64("corner", 25, "device sizing corner °C")
 	ambient := flag.Float64("ambient", 25, "ambient temperature °C")
 	width := flag.Int("w", 0, "router channel-width override")
+	routeWorkers := flag.Int("route-workers", 0, "PathFinder search workers; byte-identical results (0 = GOMAXPROCS, 1 = serial)")
 	effort := flag.Float64("effort", 1.0, "placement effort")
 	seed := flag.Int64("seed", 0, "seed override")
 	blifOut := flag.String("blif", "", "write generated netlist as BLIF")
@@ -166,6 +169,7 @@ func main() {
 
 	opts := flow.DefaultOptions()
 	opts.ChannelTracks = *width
+	opts.Router.Workers = *routeWorkers
 	opts.PlaceEffort = *effort
 	if *seed != 0 {
 		opts.Seed = *seed

@@ -65,6 +65,7 @@ func main() {
 	effort := flag.Float64("effort", 1.0, "placement effort")
 	benchCSV := flag.String("bench", "", "comma-separated benchmark subset for figure jobs")
 	parallel := flag.Int("parallel", 0, "per-job benchmark fan-out workers (0 = GOMAXPROCS)")
+	routeWorkers := flag.Int("route-workers", 0, "PathFinder search workers per flow build; byte-identical results (0 = GOMAXPROCS, 1 = serial)")
 	workers := flag.Int("workers", 1, "concurrent jobs")
 	queue := flag.Int("queue", 64, "queued-job bound")
 	ttl := flag.Duration("ttl", 15*time.Minute, "finished-job retention")
@@ -100,6 +101,7 @@ func main() {
 		ChannelTracks: *width,
 		PlaceEffort:   *effort,
 		BenchWorkers:  *parallel,
+		RouteWorkers:  *routeWorkers,
 		FlowCacheDir:  *flowcache,
 	}
 	if *benchCSV != "" {

@@ -113,6 +113,47 @@ func BenchmarkSTAAnalyzeReference(b *testing.B) {
 	}
 }
 
+// BenchmarkSTAIncrementalLocal measures the delta-layer analyzer on a
+// localized perturbation: each probe nudges one tile and re-analyzes, so
+// only the arcs reading that tile's delays are recomputed. Paired against
+// BenchmarkSTAAnalyzeLocal, the dense probe on the identical temperature
+// trajectory (the reports are bit-identical; only the work differs).
+func BenchmarkSTAIncrementalLocal(b *testing.B) {
+	im := innerLoopFixture(b)
+	temps := hotTemps(im)
+	inc := sta.NewIncremental(im.Timing)
+	if rep := inc.Analyze(temps); rep.PeriodPs <= 0 {
+		b.Fatal("degenerate warm-up probe")
+	}
+	n := im.Grid.NumTiles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		temps[i%n] += 0.25
+		if rep := inc.Analyze(temps); rep.PeriodPs <= 0 {
+			b.Fatal("degenerate probe")
+		}
+	}
+}
+
+// BenchmarkSTAAnalyzeLocal is the dense "before" twin of
+// BenchmarkSTAIncrementalLocal: the same one-tile-per-probe trajectory,
+// re-analyzed from scratch every time.
+func BenchmarkSTAAnalyzeLocal(b *testing.B) {
+	im := innerLoopFixture(b)
+	temps := hotTemps(im)
+	if rep := im.Timing.Analyze(temps); rep.PeriodPs <= 0 {
+		b.Fatal("degenerate warm-up probe")
+	}
+	n := im.Grid.NumTiles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		temps[i%n] += 0.25
+		if rep := im.Timing.Analyze(temps); rep.PeriodPs <= 0 {
+			b.Fatal("degenerate probe")
+		}
+	}
+}
+
 // BenchmarkSTASlacks measures the per-block slack pass (forward + backward
 // sweep on the compiled graph).
 func BenchmarkSTASlacks(b *testing.B) {

@@ -37,6 +37,11 @@ type Context struct {
 	Scale float64
 	// ChannelTracks overrides the router's channel width (0 = Table I).
 	ChannelTracks int
+	// RouteWorkers sets the PathFinder's per-net search parallelism
+	// (route.Options.Workers): 0 picks GOMAXPROCS, 1 routes serially. The
+	// routed result is byte-identical for every value, so this is purely a
+	// wall-clock knob and never enters any cache key.
+	RouteWorkers int
 	// PlaceEffort scales the annealing budget.
 	PlaceEffort float64
 	// Benchmarks restricts the suite (nil = all 19).
@@ -190,6 +195,7 @@ func (c *Context) implement(name string) (*flow.Implementation, error) {
 	opts.ChannelTracks = c.ChannelTracks
 	opts.PIDensity = p.PIDensity
 	opts.Router = route.DefaultOptions()
+	opts.Router.Workers = c.RouteWorkers
 	opts.Cache = c.FlowCache
 	opts.Ctx = c.Ctx
 	im, err := flow.Implement(nl, dev, opts)

@@ -78,9 +78,31 @@ func cacheKey(nl *netlist.Netlist, params coffe.Params, opts Options) (string, e
 	if err := nl.WriteBLIF(h); err != nil {
 		return "", err
 	}
+	// Only the router's schedule goes into the key — the worker count picks
+	// how the identical result is computed, not what it is (the routed
+	// output is byte-identical for every Workers value), so including it
+	// would split the cache by machine and orphan every pre-existing disk
+	// entry. routerSchedule's fields mirror route.Options' schedule knobs
+	// name for name so its %+v renders the exact bytes the key hashed
+	// before Workers existed.
+	sched := routerSchedule{
+		MaxIters:     opts.Router.MaxIters,
+		PresFacFirst: opts.Router.PresFacFirst,
+		PresFacMult:  opts.Router.PresFacMult,
+		BBoxMargin:   opts.Router.BBoxMargin,
+	}
 	fmt.Fprintf(h, "|arch:%+v|seed:%d|effort:%g|router:%+v",
-		params, opts.Seed, opts.PlaceEffort, opts.Router)
+		params, opts.Seed, opts.PlaceEffort, sched)
 	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// routerSchedule is the result-determining subset of route.Options, in its
+// historical field order (the cache key's byte format is load-bearing:
+// changing it silently abandons every existing cache entry).
+type routerSchedule struct {
+	MaxIters                  int
+	PresFacFirst, PresFacMult float64
+	BBoxMargin                int
 }
 
 // snapshot captures a freshly built placement and routing as a payload.

@@ -1,0 +1,62 @@
+package flow
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"tafpga/internal/bench"
+)
+
+// flowFingerprint serializes everything downstream models read from a flow
+// build — placement tiles and cost, router iterations, max occupancy, and
+// every net's sink paths in canonical (sorted) order — so two builds can be
+// compared for byte identity. It reuses the cache's snapshot encoding: the
+// same bytes the on-disk cache would store.
+func flowFingerprint(t *testing.T, im *Implementation) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snapshot(im.Placed, im.Routed)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// buildWithWorkers runs the full flow front-end at the given router worker
+// count, cacheless (each call really packs, places, and routes).
+func buildWithWorkers(t *testing.T, name string, scale float64, workers int) []byte {
+	t.Helper()
+	d, _ := devices(t)
+	prof, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := bench.Generate(prof.Scaled(scale), bench.SeedFor(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions(name)
+	opts.Router.Workers = workers
+	im, err := Implement(nl, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flowFingerprint(t, im)
+}
+
+// TestFlowBuildDeterminism: the whole implementation front-end must be a
+// pure function of its inputs — byte-identical across repeated runs and
+// across every router worker count. Run under -race in CI so the parallel
+// router's speculation is exercised with full instrumentation.
+func TestFlowBuildDeterminism(t *testing.T) {
+	base := buildWithWorkers(t, "sha", 1.0/64, 1)
+	for _, w := range []int{1, 2, 8} {
+		for rep := 0; rep < 2; rep++ {
+			got := buildWithWorkers(t, "sha", 1.0/64, w)
+			if !bytes.Equal(got, base) {
+				t.Fatalf("flow build diverges at workers=%d rep=%d (%d vs %d bytes)",
+					w, rep, len(got), len(base))
+			}
+		}
+	}
+}

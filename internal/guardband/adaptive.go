@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"tafpga/internal/faults"
 	"tafpga/internal/hotspot"
 	"tafpga/internal/power"
 	"tafpga/internal/sta"
@@ -43,8 +44,12 @@ type AdaptiveResult struct {
 	// baseline.
 	AvgGainPct float64
 	// SettleS is the die thermal settle time (informational: epochs are
-	// assumed long against it, which holds for any profile in hours).
+	// assumed long against it, which holds for any profile in hours). Only
+	// meaningful when SettleErr is empty.
 	SettleS float64
+	// SettleErr records why the settle-time estimate is unavailable; the
+	// rendered table shows "n/a" instead of a bogus 0.000 s.
+	SettleErr string
 	// Stats aggregates the kernel work across all epochs (plus the shared
 	// baseline probe).
 	Stats Stats
@@ -95,11 +100,18 @@ func RunAdaptive(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, profile [
 	}
 
 	// Report the thermal settle time so callers can sanity-check that their
-	// epochs are long against it.
+	// epochs are long against it. The estimate is informational — every
+	// epoch above is already valid — so a failed estimate is surfaced in
+	// SettleErr (rendered as "n/a") rather than failing the whole run or,
+	// worse, reporting a bogus 0.000 s.
 	n := an.PL.Grid.NumTiles()
 	idle := pm.Vector(0, sta.UniformTemps(n, profile[0].AmbientC))
 	start := sta.UniformTemps(n, profile[0].AmbientC)
-	if ts, err := th.SettleTime(start, idle, profile[0].AmbientC); err == nil {
+	if err := faults.Check("guardband.settle"); err != nil {
+		res.SettleErr = err.Error()
+	} else if ts, err := th.SettleTime(start, idle, profile[0].AmbientC); err != nil {
+		res.SettleErr = err.Error()
+	} else {
 		res.SettleS = ts
 	}
 	return res, nil
@@ -112,7 +124,11 @@ func (r *AdaptiveResult) String() string {
 	for _, e := range r.Epochs {
 		fmt.Fprintf(&b, "%10.1f %10.1f %12.1f %8.2f\n", e.Hours, e.AmbientC, e.FmaxMHz, e.RiseC)
 	}
-	fmt.Fprintf(&b, "baseline %0.1f MHz; time-averaged %0.1f MHz (+%0.1f%%); die settles in %.3f s\n",
-		r.BaselineMHz, r.TimeAvgFmaxMHz, r.AvgGainPct, r.SettleS)
+	settle := fmt.Sprintf("die settles in %.3f s", r.SettleS)
+	if r.SettleErr != "" {
+		settle = "die settle time n/a (" + r.SettleErr + ")"
+	}
+	fmt.Fprintf(&b, "baseline %0.1f MHz; time-averaged %0.1f MHz (+%0.1f%%); %s\n",
+		r.BaselineMHz, r.TimeAvgFmaxMHz, r.AvgGainPct, settle)
 	return b.String()
 }

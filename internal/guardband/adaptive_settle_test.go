@@ -1,0 +1,52 @@
+package guardband
+
+import (
+	"strings"
+	"testing"
+
+	"tafpga/internal/faults"
+)
+
+// TestAdaptiveSettleErrorSurfaced: a failed settle-time estimate must not be
+// swallowed into a bogus "die settles in 0.000 s" line — it lands in
+// SettleErr, the epochs stay valid, and the table renders "n/a".
+// Not parallel: the fault injector is process-global.
+func TestAdaptiveSettleErrorSurfaced(t *testing.T) {
+	f := setup(t)
+	profile := []ProfilePoint{{Hours: 4, AmbientC: 25}}
+
+	if err := faults.Enable("guardband.settle=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disable()
+	res, err := RunAdaptive(f.an, f.pm, f.th, profile, DefaultOptions(0))
+	if err != nil {
+		t.Fatalf("informational settle failure must not fail the run: %v", err)
+	}
+	if res.SettleErr == "" {
+		t.Fatal("SettleErr empty after an injected settle-time failure")
+	}
+	if res.SettleS != 0 {
+		t.Fatalf("SettleS = %g alongside a settle error", res.SettleS)
+	}
+	if len(res.Epochs) != 1 || res.Epochs[0].FmaxMHz <= 0 {
+		t.Fatalf("epochs corrupted by settle failure: %+v", res.Epochs)
+	}
+	table := res.String()
+	if !strings.Contains(table, "die settle time n/a") {
+		t.Fatalf("table does not render the settle failure as n/a:\n%s", table)
+	}
+	if strings.Contains(table, "settles in 0.000 s") {
+		t.Fatalf("table still shows the bogus zero settle time:\n%s", table)
+	}
+
+	// And with injection off, the estimate comes back healthy.
+	faults.Disable()
+	res, err = RunAdaptive(f.an, f.pm, f.th, profile, DefaultOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SettleErr != "" || res.SettleS <= 0 {
+		t.Fatalf("healthy run: SettleS = %g, SettleErr = %q", res.SettleS, res.SettleErr)
+	}
+}

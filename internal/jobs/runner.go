@@ -25,6 +25,10 @@ type RunnerConfig struct {
 	// BenchWorkers bounds the per-job benchmark fan-out of figure suites
 	// (0 = GOMAXPROCS).
 	BenchWorkers int
+	// RouteWorkers sets the PathFinder's per-net search parallelism within
+	// each flow build (0 = GOMAXPROCS, 1 = serial). Byte-identical results
+	// for every value — a wall-clock knob only, excluded from cache keys.
+	RouteWorkers int
 	// Benchmarks restricts the suite used by figure jobs (nil = the full
 	// Table II suite).
 	Benchmarks []string
@@ -78,6 +82,7 @@ func (r *Runner) context(ctx context.Context, emit func(Event)) *experiments.Con
 		c.PlaceEffort = r.cfg.PlaceEffort
 	}
 	c.Workers = r.cfg.BenchWorkers
+	c.RouteWorkers = r.cfg.RouteWorkers
 	c.Benchmarks = r.cfg.Benchmarks
 	c.Ctx = ctx
 	if emit != nil {

@@ -8,6 +8,8 @@
 package power
 
 import (
+	"sort"
+
 	"tafpga/internal/activity"
 	"tafpga/internal/coffe"
 	"tafpga/internal/netlist"
@@ -84,13 +86,17 @@ func (m *Model) buildDynamic() {
 	// Routed interconnect: every hop's mux+wire capacitance switches with
 	// the net's activity, in the hop's tile. Paths share tree wires; to
 	// avoid double counting shared trunks across sinks, deposit each
-	// distinct (tile, kind) of a net once.
-	for d, nr := range m.RT.Nets {
+	// distinct (tile, kind) of a net once. Nets and sinks are visited in
+	// sorted order: the deposits are float64 accumulations, so map-order
+	// iteration would make the power vector — and everything thermal
+	// downstream of it — vary run to run in the last bits.
+	for _, d := range sortedNetKeys(m.RT.Nets) {
+		nr := m.RT.Nets[d]
 		alpha := m.Act[d].Density
 		seen := map[route.Hop]bool{}
 		add(m.PL.TileOf[d], m.Dev.CEff(coffe.OutputMux), alpha, m.Vdd)
-		for _, hops := range nr.Paths {
-			for _, h := range hops {
+		for _, s := range sortedPathKeys(nr.Paths) {
+			for _, h := range nr.Paths[s] {
 				if seen[h] {
 					continue
 				}
@@ -188,12 +194,16 @@ func (m *Model) Report(fMHz float64, temps []float64) Breakdown {
 			b.DynMacroUW += dynUWPerMHz(dev.CEff(coffe.DSP), alpha, m.Vdd) * fMHz
 		}
 	}
-	for d, nr := range m.RT.Nets {
+	// Sorted net/sink order for the same reason as buildDynamic: the
+	// routing bucket is a float64 sum, and its value must not depend on
+	// map iteration order.
+	for _, d := range sortedNetKeys(m.RT.Nets) {
+		nr := m.RT.Nets[d]
 		alpha := m.Act[d].Density
 		seen := map[route.Hop]bool{}
 		b.DynRoutingUW += dynUWPerMHz(dev.CEff(coffe.OutputMux), alpha, m.Vdd) * fMHz
-		for _, hops := range nr.Paths {
-			for _, h := range hops {
+		for _, s := range sortedPathKeys(nr.Paths) {
+			for _, h := range nr.Paths[s] {
 				if seen[h] {
 					continue
 				}
@@ -203,4 +213,24 @@ func (m *Model) Report(fMHz float64, temps []float64) Breakdown {
 		}
 	}
 	return b
+}
+
+// sortedNetKeys returns the routed net drivers in ascending block-ID order.
+func sortedNetKeys(nets map[int]*route.NetRoute) []int {
+	keys := make([]int, 0, len(nets))
+	for d := range nets {
+		keys = append(keys, d)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sortedPathKeys returns a net's sinks in ascending block-ID order.
+func sortedPathKeys(paths map[int][]route.Hop) []int {
+	keys := make([]int, 0, len(paths))
+	for s := range paths {
+		keys = append(keys, s)
+	}
+	sort.Ints(keys)
+	return keys
 }

@@ -1,0 +1,70 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"tafpga/internal/coffe"
+)
+
+// fingerprintResult serializes a routed result deterministically (sorted
+// drivers, sorted sinks) so two runs can be compared byte for byte.
+func fingerprintResult(res *Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "iters:%d maxocc:%d nets:%d\n", res.Iters, res.MaxOcc, len(res.Nets))
+	drivers := make([]int, 0, len(res.Nets))
+	for d := range res.Nets {
+		drivers = append(drivers, d)
+	}
+	sort.Ints(drivers)
+	for _, d := range drivers {
+		nr := res.Nets[d]
+		fmt.Fprintf(&sb, "net %d wl %d\n", d, nr.WireLenTiles)
+		sinks := make([]int, 0, len(nr.Paths))
+		for s := range nr.Paths {
+			sinks = append(sinks, s)
+		}
+		sort.Ints(sinks)
+		for _, s := range sinks {
+			fmt.Fprintf(&sb, " %d:", s)
+			for _, h := range nr.Paths[s] {
+				kind := "sb"
+				if h.Kind == coffe.CBMux {
+					kind = "cb"
+				}
+				fmt.Fprintf(&sb, " %s@%d", kind, h.Tile)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// TestRouteDeterminism is the regression net under the parallel router:
+// routing the same placement must produce byte-identical output across
+// repeated runs and across worker counts (the -route-workers invariant).
+// CI runs this under -race, where it also shakes out data races in the
+// speculation layer.
+func TestRouteDeterminism(t *testing.T) {
+	pl, g := routeSetup(t, "sha", 1.0/64, 1, 104)
+
+	var want string
+	for _, workers := range []int{1, 1, 2, 2, 8, 8} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		res, err := Route(pl, g, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fp := fingerprintResult(res)
+		if want == "" {
+			want = fp
+			continue
+		}
+		if fp != want {
+			t.Fatalf("workers=%d produced a different routed result", workers)
+		}
+	}
+}

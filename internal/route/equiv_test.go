@@ -10,9 +10,8 @@ import (
 	"tafpga/internal/place"
 )
 
-// routeBoth places one benchmark and routes it with both router
-// implementations over the same graph.
-func routeBoth(t *testing.T, name string, scale float64, seed int64, tracks int, opts Options) (*Result, *Result) {
+// routeSetup packs and places one benchmark and builds its routing graph.
+func routeSetup(t *testing.T, name string, scale float64, seed int64, tracks int) (*place.Placement, *Graph) {
 	t.Helper()
 	prof, err := bench.ByName(name)
 	if err != nil {
@@ -36,7 +35,14 @@ func routeBoth(t *testing.T, name string, scale float64, seed int64, tracks int,
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := BuildGraph(grid)
+	return pl, BuildGraph(grid)
+}
+
+// routeBoth places one benchmark and routes it with both router
+// implementations over the same graph.
+func routeBoth(t *testing.T, name string, scale float64, seed int64, tracks int, opts Options) (*Result, *Result) {
+	t.Helper()
+	pl, g := routeSetup(t, name, scale, seed, tracks)
 	got, gotErr := Route(pl, g, opts)
 	ref, refErr := RouteReference(pl, g, opts)
 	if (gotErr == nil) != (refErr == nil) {
@@ -90,41 +96,82 @@ func requireSameResult(t *testing.T, got, ref *Result) {
 	}
 }
 
-// TestRouteMatchesReference sweeps benchmarks, seeds, and channel widths —
-// including a logic-only design, macro designs, and a starved channel that
-// forces multi-iteration congestion negotiation — and demands the optimized
-// router reproduce the reference byte for byte.
+// equivCases are the benchmark/seed/width sweeps shared by the reference
+// and worker-count equivalence tests: a logic-only design, macro designs,
+// and a starved channel that forces multi-iteration congestion
+// negotiation.
+var equivCases = []struct {
+	name   string
+	bench  string
+	scale  float64
+	seed   int64
+	tracks int
+}{
+	{"sha-small", "sha", 1.0 / 64, 1, 104},
+	{"sha-seed7", "sha", 1.0 / 64, 7, 104},
+	{"sha-tiny", "sha", 1.0 / 128, 3, 104},
+	{"bram-macros", "mkPktMerge", 1.0 / 8, 2, 104},
+	{"dsp-macros", "raygentop", 1.0 / 32, 5, 104},
+	{"starved-negotiation", "sha", 1.0 / 32, 9, 56},
+}
+
+// TestRouteMatchesReference demands the optimized router reproduce the
+// reference byte for byte.
 func TestRouteMatchesReference(t *testing.T) {
-	cases := []struct {
-		name   string
-		bench  string
-		scale  float64
-		seed   int64
-		tracks int
-		opts   Options
-	}{
-		{"sha-small", "sha", 1.0 / 64, 1, 104, DefaultOptions()},
-		{"sha-seed7", "sha", 1.0 / 64, 7, 104, DefaultOptions()},
-		{"sha-tiny", "sha", 1.0 / 128, 3, 104, DefaultOptions()},
-		{"bram-macros", "mkPktMerge", 1.0 / 8, 2, 104, DefaultOptions()},
-		{"dsp-macros", "raygentop", 1.0 / 32, 5, 104, DefaultOptions()},
-		{"starved-negotiation", "sha", 1.0 / 32, 9, 56, DefaultOptions()},
-	}
-	for _, tc := range cases {
+	for _, tc := range equivCases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			got, ref := routeBoth(t, tc.bench, tc.scale, tc.seed, tc.tracks, tc.opts)
+			got, ref := routeBoth(t, tc.bench, tc.scale, tc.seed, tc.tracks, DefaultOptions())
 			requireSameResult(t, got, ref)
 		})
 	}
 }
 
+// TestRouteWorkersMatchReference pins the parallel router's core invariant:
+// the routed result must not depend on the worker count. Every speculative
+// configuration is held to the same byte-identical standard against the
+// seed reference as the serial router.
+func TestRouteWorkersMatchReference(t *testing.T) {
+	for _, tc := range equivCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			pl, g := routeSetup(t, tc.bench, tc.scale, tc.seed, tc.tracks)
+			ref, refErr := RouteReference(pl, g, DefaultOptions())
+			for _, workers := range []int{1, 2, 8} {
+				opts := DefaultOptions()
+				opts.Workers = workers
+				got, gotErr := Route(pl, g, opts)
+				if (gotErr == nil) != (refErr == nil) {
+					t.Fatalf("workers=%d error behavior diverged: opt=%v ref=%v", workers, gotErr, refErr)
+				}
+				if gotErr != nil {
+					if gotErr.Error() != refErr.Error() {
+						t.Fatalf("workers=%d error text diverged: opt=%q ref=%q", workers, gotErr, refErr)
+					}
+					continue
+				}
+				requireSameResult(t, got, ref)
+			}
+		})
+	}
+}
+
 // TestRouteMatchesReferenceWideMargin exercises the widen-and-retry path by
-// shrinking the initial search window to nothing.
+// shrinking the initial search window to nothing, serially and under
+// speculation.
 func TestRouteMatchesReferenceWideMargin(t *testing.T) {
 	opts := DefaultOptions()
 	opts.BBoxMargin = 0
 	got, ref := routeBoth(t, "sha", 1.0/64, 11, 104, opts)
 	requireSameResult(t, got, ref)
+
+	pl, g := routeSetup(t, "sha", 1.0/64, 11, 104)
+	opts.Workers = 4
+	par, err := Route(pl, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, par, ref)
 }

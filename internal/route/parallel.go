@@ -1,0 +1,114 @@
+package route
+
+// parallel.go is the speculative parallel layer of the PathFinder. Within
+// one negotiation round the serial router processes nets in driver order,
+// each seeing the congestion costs left by the nets before it. To overlap
+// the expensive searches without changing that semantics, workers
+// speculate every net concurrently against a frozen snapshot of the costs
+// taken at the start of the round (plus an overlay that rips up the net's
+// own previous route, exactly as the serial pass would before searching).
+// Each speculative search records every (node, cost) pair it read, and the
+// serial apply pass in Route revalidates that evidence against the live,
+// in-order costs before committing: the search is a deterministic function
+// of the cost values it reads, so a speculative route whose every read
+// still matches is exactly the route the live search would have produced,
+// and a net whose evidence was invalidated by an earlier net's commit
+// simply searches again serially. The committed result is therefore
+// byte-identical for every worker count, including 1 (which skips this
+// file entirely).
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// specResult is one net's speculative outcome for the current round:
+// either a candidate tree or the unroutable error, plus the cost-read
+// evidence that must survive for the candidate to commit. The buffers
+// persist across rounds.
+type specResult struct {
+	err       error
+	tree      []int32
+	pars      []int32
+	readNodes []int32
+	readVals  []float64
+}
+
+// parRouter owns the frozen snapshot and the per-worker searchers.
+type parRouter struct {
+	g          *Graph
+	searchers  []*netSearcher
+	frozenCost []float64
+	frozenNG   []nodeState
+	spec       []specResult
+}
+
+func newParRouter(g *Graph, workers, numTasks int) *parRouter {
+	p := &parRouter{
+		g:          g,
+		frozenCost: make([]float64, g.numNodes),
+		frozenNG:   make([]nodeState, g.numNodes),
+		spec:       make([]specResult, numTasks),
+	}
+	for i := 0; i < workers; i++ {
+		st := newNetSearcher(g, true)
+		st.cost = p.frozenCost
+		p.searchers = append(p.searchers, st)
+	}
+	return p
+}
+
+// speculate snapshots the live negotiation state and searches every net
+// concurrently. It returns only when every worker is done, so the serial
+// apply pass never races the snapshot.
+func (p *parRouter) speculate(tasks []netTask, prevUse [][]int32, ng []nodeState, cost []float64, presFac float64, iter int, opts *Options) {
+	copy(p.frozenCost, cost)
+	copy(p.frozenNG, ng)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, st := range p.searchers {
+		wg.Add(1)
+		go func(st *netSearcher) {
+			defer wg.Done()
+			for {
+				ti := int(next.Add(1) - 1)
+				if ti >= len(tasks) {
+					return
+				}
+				p.specNet(st, &tasks[ti], prevUse[ti], &p.spec[ti], presFac, iter, opts)
+			}
+		}(st)
+	}
+	wg.Wait()
+}
+
+// specNet speculates one net: overlay its own rip-up onto the frozen
+// snapshot, search, and record the candidate with its read evidence.
+func (p *parRouter) specNet(st *netSearcher, t *netTask, prev []int32, sp *specResult, presFac float64, iter int, opts *Options) {
+	// The serial pass searches after ripping up the net's previous route,
+	// so the speculative view must price those nodes with one occupant
+	// removed (the exact recost expression at occ-1).
+	st.ovEpoch++
+	for _, n := range prev {
+		s := &p.frozenNG[n]
+		c := 1.0 + s.hist
+		if over := float64(s.occ - s.cap); over > 0 {
+			c += over * presFac * 4
+		}
+		st.ovStamp[n] = st.ovEpoch
+		st.ovVal[n] = c
+	}
+
+	sp.err = st.routeNet(t, iter, opts)
+	sp.tree = sp.tree[:0]
+	sp.pars = sp.pars[:0]
+	if sp.err == nil {
+		for _, n := range st.treeList {
+			sp.tree = append(sp.tree, n)
+			sp.pars = append(sp.pars, st.treePar[n])
+		}
+	}
+	sp.readNodes = append(sp.readNodes[:0], st.readNodes...)
+	sp.readVals = append(sp.readVals[:0], st.readVals...)
+}

@@ -2,6 +2,7 @@ package route
 
 import (
 	"fmt"
+	"runtime"
 	"slices"
 	"sort"
 
@@ -48,12 +49,20 @@ type Options struct {
 	// BBoxMargin expands each net's search window beyond its terminal
 	// bounding box, in tiles.
 	BBoxMargin int
+	// Workers is the number of concurrent speculative net searchers per
+	// negotiation round: 0 picks runtime.GOMAXPROCS(0), 1 routes serially.
+	// The routed result is byte-identical for every value — speculative
+	// routes are only committed after their cost evidence is revalidated
+	// against the live negotiation state, in net order (see parallel.go).
+	Workers int
 }
 
 // DefaultOptions returns the standard negotiation schedule: a gently
 // growing present-congestion factor with a strong history term, the classic
-// PathFinder recipe — an exploding pressure term makes every overused node
-// look equally catastrophic and the routes oscillate instead of settling.
+// PathFinder recipe. The gentle growth is what lets negotiation settle —
+// an exploding pressure term would make every overused node look equally
+// catastrophic and the routes would oscillate instead of converging, so
+// the schedule deliberately avoids it.
 func DefaultOptions() Options {
 	return Options{MaxIters: 45, PresFacFirst: 0.5, PresFacMult: 1.3, BBoxMargin: 3}
 }
@@ -139,41 +148,34 @@ func (p *frontierHeap) pop() qItem {
 	return it
 }
 
-// Route routes every multi-terminal net of the placed design.
-//
-// This is the optimized PathFinder: the per-target priority queue, route
-// tree, and traceback maps of the seed router are replaced with pooled
-// slices and epoch-stamped arrays reused across nets and negotiation
-// iterations; net seeding reads the Graph's precompiled OPIN CSR and the
-// A* heuristic reads precomputed node coordinates instead of recomputing
-// wire midpoints on every push; and settled neighbors (dist ≤ d+1, safe
-// because every node costs at least 1) are skipped before their cost is
-// even priced. None of this changes a single heap comparison, so the
-// chosen routes — Paths, WireLenTiles, Iters, MaxOcc — are byte-identical
-// to RouteReference (see reference.go and the equivalence tests).
-func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
+// netTask is one multi-terminal net to route, with its terminal bounding
+// box precomputed.
+type netTask struct {
+	driver  int
+	name    string
+	sinks   []int
+	minX    int
+	minY    int
+	maxX    int
+	maxY    int
+	srcTile int
+	// sinkTiles is the deduplicated ascending target list; PathFinder
+	// consumes it smallest-first, matching the seed's map-min scan.
+	sinkTiles []int
+}
+
+// buildNetTasks collects the global-routing nets of the placed design in
+// driver-ID order.
+func buildNetTasks(pl *place.Placement) []netTask {
 	nl := pl.Packed.Netlist
 	grid := pl.Grid
-
-	type netTask struct {
-		driver  int
-		sinks   []int
-		minX    int
-		minY    int
-		maxX    int
-		maxY    int
-		srcTile int
-		// sinkTiles is the deduplicated ascending target list; PathFinder
-		// consumes it smallest-first, matching the seed's map-min scan.
-		sinkTiles []int
-	}
 	var tasks []netTask
 	for d := range nl.Blocks {
 		if len(nl.Sinks[d]) == 0 || pl.TileOf[d] < 0 {
 			continue
 		}
 		srcTile := pl.TileOf[d]
-		t := netTask{driver: d, srcTile: srcTile}
+		t := netTask{driver: d, name: nl.Blocks[d].Name, srcTile: srcTile}
 		for _, s := range nl.Sinks[d] {
 			st := pl.TileOf[s]
 			if st < 0 || st == srcTile {
@@ -215,15 +217,290 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 		}
 		tasks = append(tasks, t)
 	}
+	return tasks
+}
 
-	// Congestion state, one cache-friendly record per node: nodeCost reads
-	// hist, occ, and capacity together on every expansion, so keeping them
-	// on one line beats three parallel arrays.
-	type nodeState struct {
-		hist float64
-		occ  int16
-		cap  int16
+// nodeState is the congestion record of one RRG node: nodeCost reads hist,
+// occ, and capacity together on every expansion, so keeping them on one
+// cache line beats three parallel arrays.
+type nodeState struct {
+	hist float64
+	occ  int16
+	cap  int16
+}
+
+// searchState is the A* wavefront label of one node, epoch-stamped so the
+// arrays are reused across nets and negotiation rounds without clearing.
+// seq identifies the node's most recent frontier entry (see qItem).
+type searchState struct {
+	dist   float64
+	stamp  int32
+	parent int32
+	seq    uint32
+}
+
+// netSearcher is the pooled search state of one routing worker: the
+// epoch-stamped wavefront arrays, the concrete binary heap, and — for
+// speculative workers only — the cost-read recorder whose evidence lets
+// the serial pass validate a speculative route against the live
+// negotiation state (see parallel.go). The serial router's searcher has
+// readMark nil and records nothing.
+type netSearcher struct {
+	g        *Graph
+	ss       []searchState
+	inTree   []int32
+	treePar  []int32
+	epoch    int32
+	netEpoch int32
+	pushCtr  uint32
+	frontier frontierHeap
+	treeList []int32
+	seeds    []int32
+
+	// Cost source: the live cost vector, or a frozen snapshot plus a
+	// per-net rip-up overlay when speculating.
+	cost    []float64
+	ovStamp []int32
+	ovVal   []float64
+	ovEpoch int32
+
+	// Read evidence of the current net's searches, recorded only when
+	// readMark is non-nil: readVals[i] is the cost the search saw at
+	// readNodes[i], each node recorded once per net.
+	readMark  []int32
+	readEpoch int32
+	readNodes []int32
+	readVals  []float64
+}
+
+func newNetSearcher(g *Graph, speculative bool) *netSearcher {
+	st := &netSearcher{
+		g:       g,
+		ss:      make([]searchState, g.numNodes),
+		inTree:  make([]int32, g.numNodes),
+		treePar: make([]int32, g.numNodes),
 	}
+	for i := range st.inTree {
+		st.inTree[i] = -1
+	}
+	if speculative {
+		st.ovStamp = make([]int32, g.numNodes)
+		st.ovVal = make([]float64, g.numNodes)
+		st.readMark = make([]int32, g.numNodes)
+	}
+	return st
+}
+
+// read prices node n through the searcher's cost source, recording the
+// (node, value) pair as replay evidence when speculating.
+func (st *netSearcher) read(n int32) float64 {
+	if st.readMark == nil {
+		return st.cost[n]
+	}
+	v := st.cost[n]
+	if st.ovStamp[n] == st.ovEpoch {
+		v = st.ovVal[n]
+	}
+	if st.readMark[n] != st.readEpoch {
+		st.readMark[n] = st.readEpoch
+		st.readNodes = append(st.readNodes, n)
+		st.readVals = append(st.readVals, v)
+	}
+	return v
+}
+
+// routeNet grows one net's route tree target by target at negotiation
+// round iter. The search is the optimized PathFinder inner loop: pooled
+// epoch-stamped wavefront state, precompiled OPIN seeds, precomputed node
+// coordinates, and the settled-neighbor skip (dist ≤ d+1 is safe because
+// every node costs at least 1). None of it changes a single heap
+// comparison, so the chosen tree is byte-identical to what RouteReference
+// commits.
+func (st *netSearcher) routeNet(t *netTask, iter int, opts *Options) error {
+	g := st.g
+	grid := g.Grid
+	segLen := float64(grid.Params.SegmentLength)
+
+	margin := opts.BBoxMargin + (iter-1)*2
+	loX, hiX := t.minX-margin, t.maxX+margin
+	loY, hiY := t.minY-margin, t.maxY+margin
+
+	// Route tree grows sink by sink; tree nodes re-seed at cost 0.
+	st.netEpoch++
+	st.treeList = st.treeList[:0]
+	if st.readMark != nil {
+		st.readEpoch++
+		st.readNodes = st.readNodes[:0]
+		st.readVals = st.readVals[:0]
+	}
+
+	// Targets ascend, exactly the seed's smallest-remaining order.
+	for tgt := 0; tgt < len(t.sinkTiles); {
+		target := t.sinkTiles[tgt]
+		tx, ty := grid.At(target)
+		targetNode := int32(g.ipinNode(target))
+
+		st.epoch++
+		st.frontier = st.frontier[:0]
+		push := func(n int32, d float64, par int32) {
+			s := &st.ss[n]
+			if s.stamp == st.epoch && s.dist <= d {
+				return
+			}
+			st.pushCtr++
+			s.stamp = st.epoch
+			s.dist = d
+			s.parent = par
+			s.seq = st.pushCtr
+			// |mx−tx| + |my−ty| in integers: the operands are exact in
+			// float64 either way, so this matches the reference's
+			// math.Abs-on-floats arithmetic bit for bit.
+			v := g.xy[n]
+			dx := int(v&0xffff) - tx
+			if dx < 0 {
+				dx = -dx
+			}
+			dy := int(v>>16) - ty
+			if dy < 0 {
+				dy = -dy
+			}
+			h := float64(dx+dy) / segLen * 0.8
+			st.frontier.push(qItem{node: n, seq: st.pushCtr, cost: d + h})
+		}
+
+		if len(st.treeList) == 0 {
+			for _, wseed := range g.opinList[g.opinStart[t.srcTile]:g.opinStart[t.srcTile+1]] {
+				push(wseed, st.read(wseed), -1)
+			}
+		} else {
+			// Re-seed the existing tree's wires in ascending order,
+			// matching the seed's sorted-map-keys walk.
+			st.seeds = st.seeds[:0]
+			for _, n := range st.treeList {
+				if int(n) < g.numWires {
+					st.seeds = append(st.seeds, n)
+				}
+			}
+			slices.Sort(st.seeds)
+			for _, n := range st.seeds {
+				push(n, 0, -2) // already-owned tree node
+			}
+		}
+
+		found := int32(-1)
+		for len(st.frontier) > 0 {
+			it := st.frontier.pop()
+			n := it.node
+			sn := &st.ss[n]
+			if sn.seq != it.seq {
+				continue // superseded by a later, cheaper push
+			}
+			d := sn.dist
+			if n == targetNode {
+				found = n
+				break
+			}
+			// The expansion below is push() unrolled into the loop so the
+			// bbox check's coordinate load and the settled-skip's label
+			// load are reused instead of repeated inside a closure call.
+			// Every comparison and store is the same, in the same order.
+			for _, nb := range g.adjList[g.adjStart[n]:g.adjStart[n+1]] {
+				if int(nb) < g.numWires {
+					// Bounding-box pruning for wires.
+					v := g.xy[nb]
+					mx := int(v & 0xffff)
+					if mx < loX || mx > hiX {
+						continue
+					}
+					my := int(v >> 16)
+					if my < loY || my > hiY {
+						continue
+					}
+					// Settled-neighbor skip: every node costs ≥ 1, so a
+					// label already at dist ≤ d+1 can never be improved
+					// by this expansion — the push would be a no-op.
+					sb := &st.ss[nb]
+					if sb.stamp == st.epoch && sb.dist <= d+1 {
+						continue
+					}
+					nd := d + st.read(nb)
+					if sb.stamp == st.epoch && sb.dist <= nd {
+						continue
+					}
+					st.pushCtr++
+					sb.stamp = st.epoch
+					sb.dist = nd
+					sb.parent = n
+					sb.seq = st.pushCtr
+					dx := mx - tx
+					if dx < 0 {
+						dx = -dx
+					}
+					dy := my - ty
+					if dy < 0 {
+						dy = -dy
+					}
+					h := float64(dx+dy) / segLen * 0.8
+					st.frontier.push(qItem{node: nb, seq: st.pushCtr, cost: nd + h})
+					continue
+				}
+				if int(nb)-g.numWires != target {
+					continue // foreign IPIN
+				}
+				if sb := &st.ss[nb]; sb.stamp == st.epoch && sb.dist <= d+1 {
+					continue
+				}
+				push(nb, d+st.read(nb), n)
+			}
+		}
+		if found < 0 {
+			if margin < grid.W {
+				// Widen the window and retry this net from scratch.
+				loX, hiX, loY, hiY = 0, grid.W-1, 0, grid.H-1
+				margin = grid.W
+				continue
+			}
+			return fmt.Errorf("route: net %d (driver %q) unroutable to tile %d",
+				t.driver, t.name, target)
+		}
+
+		// Commit the new branch into the tree.
+		for n := found; ; {
+			p := st.ss[n].parent
+			if st.inTree[n] == st.netEpoch {
+				break
+			}
+			if p == -2 {
+				break // reached existing tree
+			}
+			st.inTree[n] = st.netEpoch
+			st.treePar[n] = p
+			st.treeList = append(st.treeList, n)
+			if p < 0 {
+				break
+			}
+			n = p
+		}
+		tgt++
+	}
+	return nil
+}
+
+// Route routes every multi-terminal net of the placed design.
+//
+// This is the optimized, optionally parallel PathFinder. Each negotiation
+// round rips up and re-routes every net in driver order over pooled
+// epoch-stamped search state, exactly like the seed; when opts.Workers > 1
+// the searches are additionally speculated concurrently against a frozen
+// cost snapshot and revalidated in order before committing (parallel.go).
+// Neither the pooling nor the speculation changes a single heap comparison
+// of the searches whose results are committed, so the chosen routes —
+// Paths, WireLenTiles, Iters, MaxOcc — are byte-identical to
+// RouteReference for every worker count (see reference.go and the
+// equivalence tests).
+func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
+	tasks := buildNetTasks(pl)
+
 	ng := make([]nodeState, g.numNodes)
 	for n := range ng {
 		ng[n].cap = g.capacity[n]
@@ -236,31 +513,9 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 	// walk before storing).
 	finalPars := make([][]int32, len(tasks))
 
-	// A* wavefront state with epoch stamping, shared across every net and
-	// iteration. dist/stamp/parent/seq live in one record per node for the
-	// same locality reason as nodeState; seq identifies the node's most
-	// recent frontier entry (see qItem).
-	type searchState struct {
-		dist   float64
-		stamp  int32
-		parent int32
-		seq    uint32
-	}
-	ss := make([]searchState, g.numNodes)
-	inTree := make([]int32, g.numNodes)
-	treePar := make([]int32, g.numNodes)
-	for i := range inTree {
-		inTree[i] = -1
-	}
-	var epoch, netEpoch int32
-	var pushCtr uint32
-	var frontier frontierHeap
-	var treeList, seeds []int32
-
 	res := &Result{Graph: g, Place: pl, Nets: map[int]*NetRoute{}}
 
 	presFac := opts.PresFacFirst
-	segLen := float64(grid.Params.SegmentLength)
 
 	// cost caches nodeCost per node, maintained incrementally: occupancy
 	// only changes at rip-up/commit and hist/presFac only between
@@ -282,9 +537,28 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 		recost(n)
 	}
 
+	live := newNetSearcher(g, false)
+	live.cost = cost
+
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var par *parRouter
+	if workers > 1 {
+		par = newParRouter(g, workers, len(tasks))
+	}
+
 	for iter := 1; iter <= opts.MaxIters; iter++ {
 		res.Iters = iter
 		congested := false
+
+		if par != nil {
+			par.speculate(tasks, prevUse, ng, cost, presFac, iter, &opts)
+		}
 
 		for ti := range tasks {
 			t := &tasks[ti]
@@ -294,140 +568,40 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 				recost(n)
 			}
 			prevUse[ti] = prevUse[ti][:0]
+			finalPars[ti] = finalPars[ti][:0]
 
-			margin := opts.BBoxMargin + (iter-1)*2
-			loX, hiX := t.minX-margin, t.maxX+margin
-			loY, hiY := t.minY-margin, t.maxY+margin
-
-			// Route tree grows sink by sink; tree nodes re-seed at cost 0.
-			netEpoch++
-			treeList = treeList[:0]
-
-			// Targets ascend, exactly the seed's smallest-remaining order.
-			for tgt := 0; tgt < len(t.sinkTiles); {
-				target := t.sinkTiles[tgt]
-				tx, ty := grid.At(target)
-				targetNode := int32(g.ipinNode(target))
-
-				epoch++
-				frontier = frontier[:0]
-				push := func(n int32, d float64, par int32) {
-					s := &ss[n]
-					if s.stamp == epoch && s.dist <= d {
-						return
+			// Commit a validated speculative route, else search live. A
+			// speculative run whose every recorded cost read still matches
+			// the live state would replay move for move, so its outcome —
+			// including the unroutable case — is the live outcome.
+			committed := false
+			if par != nil {
+				sp := &par.spec[ti]
+				if valsMatch(cost, sp.readNodes, sp.readVals) {
+					if sp.err != nil {
+						return nil, sp.err
 					}
-					pushCtr++
-					s.stamp = epoch
-					s.dist = d
-					s.parent = par
-					s.seq = pushCtr
-					// |mx−tx| + |my−ty| in integers: the operands are exact in
-					// float64 either way, so this matches the reference's
-					// math.Abs-on-floats arithmetic bit for bit.
-					v := g.xy[n]
-					dx := int(v&0xffff) - tx
-					if dx < 0 {
-						dx = -dx
+					for i, n := range sp.tree {
+						prevUse[ti] = append(prevUse[ti], n)
+						finalPars[ti] = append(finalPars[ti], sp.pars[i])
 					}
-					dy := int(v>>16) - ty
-					if dy < 0 {
-						dy = -dy
-					}
-					h := float64(dx+dy) / segLen * 0.8
-					frontier.push(qItem{node: n, seq: pushCtr, cost: d + h})
+					committed = true
 				}
-
-				if len(treeList) == 0 {
-					for _, wseed := range g.opinList[g.opinStart[t.srcTile]:g.opinStart[t.srcTile+1]] {
-						push(wseed, cost[wseed], -1)
-					}
-				} else {
-					// Re-seed the existing tree's wires in ascending order,
-					// matching the seed's sorted-map-keys walk.
-					seeds = seeds[:0]
-					for _, n := range treeList {
-						if int(n) < g.numWires {
-							seeds = append(seeds, n)
-						}
-					}
-					slices.Sort(seeds)
-					for _, n := range seeds {
-						push(n, 0, -2) // already-owned tree node
-					}
+			}
+			if !committed {
+				if err := live.routeNet(t, iter, &opts); err != nil {
+					return nil, err
 				}
-
-				found := int32(-1)
-				for len(frontier) > 0 {
-					it := frontier.pop()
-					n := it.node
-					if ss[n].seq != it.seq {
-						continue // superseded by a later, cheaper push
-					}
-					d := ss[n].dist
-					if n == targetNode {
-						found = n
-						break
-					}
-					for _, nb := range g.adjList[g.adjStart[n]:g.adjStart[n+1]] {
-						// Bounding-box pruning for wires.
-						if int(nb) < g.numWires {
-							v := g.xy[nb]
-							if mx := int(v & 0xffff); mx < loX || mx > hiX {
-								continue
-							}
-							if my := int(v >> 16); my < loY || my > hiY {
-								continue
-							}
-						} else if int(nb)-g.numWires != target {
-							continue // foreign IPIN
-						}
-						// Settled-neighbor skip: every node costs ≥ 1, so a
-						// label already at dist ≤ d+1 can never be improved
-						// by this expansion — the push would be a no-op.
-						if sb := &ss[nb]; sb.stamp == epoch && sb.dist <= d+1 {
-							continue
-						}
-						push(nb, d+cost[nb], n)
-					}
+				for _, n := range live.treeList {
+					prevUse[ti] = append(prevUse[ti], n)
+					finalPars[ti] = append(finalPars[ti], live.treePar[n])
 				}
-				if found < 0 {
-					if margin < grid.W {
-						// Widen the window and retry this net from scratch.
-						loX, hiX, loY, hiY = 0, grid.W-1, 0, grid.H-1
-						margin = grid.W
-						continue
-					}
-					return nil, fmt.Errorf("route: net %d (driver %q) unroutable to tile %d",
-						t.driver, nl.Blocks[t.driver].Name, target)
-				}
-
-				// Commit the new branch into the tree.
-				for n := found; ; {
-					p := ss[n].parent
-					if inTree[n] == netEpoch {
-						break
-					}
-					if p == -2 {
-						break // reached existing tree
-					}
-					inTree[n] = netEpoch
-					treePar[n] = p
-					treeList = append(treeList, n)
-					if p < 0 {
-						break
-					}
-					n = p
-				}
-				tgt++
 			}
 
-			// Account occupancy and snapshot the tree for traceback.
-			finalPars[ti] = finalPars[ti][:0]
-			for _, n := range treeList {
+			// Account occupancy.
+			for _, n := range prevUse[ti] {
 				ng[n].occ++
 				recost(n)
-				prevUse[ti] = append(prevUse[ti], n)
-				finalPars[ti] = append(finalPars[ti], treePar[n])
 				if ng[n].occ > ng[n].cap {
 					congested = true
 				}
@@ -467,11 +641,11 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 	var rev []int32
 	for ti := range tasks {
 		t := &tasks[ti]
-		netEpoch++
+		live.netEpoch++
 		nr := &NetRoute{Driver: t.driver, Paths: map[int][]Hop{}}
 		for i, n := range prevUse[ti] {
-			inTree[n] = netEpoch
-			treePar[n] = finalPars[ti][i]
+			live.inTree[n] = live.netEpoch
+			live.treePar[n] = finalPars[ti][i]
 			if int(n) < g.numWires {
 				nr.WireLenTiles += int(g.hi[n]-g.lo[n]) + 1
 			}
@@ -482,10 +656,10 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 			rev = rev[:0]
 			for n := ip; ; {
 				rev = append(rev, n)
-				if inTree[n] != netEpoch || treePar[n] < 0 {
+				if live.inTree[n] != live.netEpoch || live.treePar[n] < 0 {
 					break
 				}
-				n = treePar[n]
+				n = live.treePar[n]
 			}
 			hops := make([]Hop, 0, len(rev))
 			for i := len(rev) - 1; i >= 0; i-- {
@@ -508,4 +682,15 @@ func Route(pl *place.Placement, g *Graph, opts Options) (*Result, error) {
 		res.Nets[t.driver] = nr
 	}
 	return res, nil
+}
+
+// valsMatch reports whether every recorded cost read still matches the
+// live cost vector.
+func valsMatch(cost []float64, nodes []int32, vals []float64) bool {
+	for i, n := range nodes {
+		if cost[n] != vals[i] {
+			return false
+		}
+	}
+	return true
 }

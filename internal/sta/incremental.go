@@ -1,0 +1,261 @@
+package sta
+
+// incremental.go is the delta layer over the compiled timing graph. The
+// guardband loop (Algorithm 1) probes the same implementation repeatedly
+// while only the per-tile temperature vector moves between probes, and a
+// full Analyze re-prices every distinct (kind, tile) pair and re-propagates
+// every arc even when most tiles are unchanged. Incremental keeps the
+// previous probe's working set and, on the next probe, diffs the
+// temperature map, re-prices only the pairs on tiles that moved, marks the
+// arcs those pairs feed through a precomputed reverse index, and
+// recomputes only the combinational nodes whose fan-in evidence (an arc's
+// term values or a predecessor's arrival) actually changed — in the same
+// compiled topological order, with the same floating-point expressions, so
+// every number is bit-identical to a fresh Analyze at the same
+// temperatures (the equivalence tests hold it to ==, not a tolerance).
+//
+// When the diff touches most of the map — which is the common case inside
+// a guardband run, where the thermal solve moves every tile a little — the
+// delta machinery would inspect everything just to conclude everything is
+// dirty, so past a dirty-pair threshold it falls back to the dense
+// propagate over the already-updated term values. The fallback is what
+// makes wiring Incremental into the guardband loop free: dense probes cost
+// one O(tiles) diff extra, and localized probes (hotspot what-ifs,
+// per-region sensitivity sweeps) skip nearly all repricing and
+// propagation.
+
+import "tafpga/internal/coffe"
+
+// Incremental is a stateful re-analyzer over one Analyzer. It is not safe
+// for concurrent use; each goroutine should own its own instance.
+type Incremental struct {
+	a   *Analyzer
+	dev *coffe.Device // device the cached values were priced with
+	sc  *analyzeScratch
+	// temps is the temperature map of the last probe; valid marks the
+	// cached working set as coherent with it.
+	temps []float64
+	valid bool
+
+	// Reverse indexes over the compiled graph, built once: tile t prices
+	// the uniq pairs tileUniq[tileUniqLo[t]:tileUniqLo[t+1]], and uniq
+	// pair u feeds the arcs uniqEdge[uniqEdgeLo[u]:uniqEdgeLo[u+1]]
+	// (deduplicated per arc).
+	tileUniqLo []int32
+	tileUniq   []int32
+	uniqEdgeLo []int32
+	uniqEdge   []int32
+
+	// Epoch-stamped dirty marks, reused across probes without clearing.
+	epoch     int32
+	tileMark  []int32 // tile temperature changed this probe
+	edgeMark  []int32 // arc has a repriced term this probe
+	blkMark   []int32 // block arrival changed this probe
+	dirtyUniq []int32
+}
+
+// NewIncremental builds the delta analyzer and its reverse indexes.
+func NewIncremental(a *Analyzer) *Incremental {
+	c := a.comp
+	nBlocks := len(a.NL.Blocks)
+	nTiles := a.PL.Grid.NumTiles()
+
+	inc := &Incremental{
+		a: a,
+		sc: &analyzeScratch{
+			arrival:   make([]float64, nBlocks),
+			worstIn:   make([]int32, nBlocks),
+			worstEdge: make([]int32, nBlocks),
+			termVal:   make([]float64, len(c.uniq)),
+		},
+		temps:    make([]float64, nTiles),
+		tileMark: make([]int32, nTiles),
+		edgeMark: make([]int32, len(c.edgeSrc)),
+		blkMark:  make([]int32, nBlocks),
+	}
+	for i := range inc.sc.worstIn {
+		inc.sc.worstIn[i] = -1
+		inc.sc.worstEdge[i] = -1
+	}
+
+	// tile → uniq pairs (counting-sort CSR).
+	inc.tileUniqLo = make([]int32, nTiles+1)
+	for _, u := range c.uniq {
+		inc.tileUniqLo[u.tile+1]++
+	}
+	for t := 0; t < nTiles; t++ {
+		inc.tileUniqLo[t+1] += inc.tileUniqLo[t]
+	}
+	inc.tileUniq = make([]int32, len(c.uniq))
+	fill := append([]int32(nil), inc.tileUniqLo[:nTiles]...)
+	for id, u := range c.uniq {
+		inc.tileUniq[fill[u.tile]] = int32(id)
+		fill[u.tile]++
+	}
+
+	// uniq pair → arcs, deduplicated per arc (an arc often repeats a pair,
+	// e.g. several hops of the same kind through one tile).
+	last := make([]int32, len(c.uniq))
+	for i := range last {
+		last[i] = -1
+	}
+	counts := make([]int32, len(c.uniq)+1)
+	for e := 0; e < len(c.edgeSrc); e++ {
+		for _, id := range c.termID[c.termLo[e]:c.termLo[e+1]] {
+			if last[id] != int32(e) {
+				last[id] = int32(e)
+				counts[id+1]++
+			}
+		}
+	}
+	for u := 0; u < len(c.uniq); u++ {
+		counts[u+1] += counts[u]
+	}
+	inc.uniqEdgeLo = counts
+	inc.uniqEdge = make([]int32, inc.uniqEdgeLo[len(c.uniq)])
+	for i := range last {
+		last[i] = -1
+	}
+	fill = append(fill[:0], inc.uniqEdgeLo[:len(c.uniq)]...)
+	for e := 0; e < len(c.edgeSrc); e++ {
+		for _, id := range c.termID[c.termLo[e]:c.termLo[e+1]] {
+			if last[id] != int32(e) {
+				last[id] = int32(e)
+				inc.uniqEdge[fill[id]] = int32(e)
+				fill[id]++
+			}
+		}
+	}
+	return inc
+}
+
+// Analyze probes the netlist at temps, reusing whatever of the previous
+// probe's working set is still valid. The returned report is bit-identical
+// to a.Analyze(temps).
+func (inc *Incremental) Analyze(temps []float64) Report {
+	a := inc.a
+	if a.Dev != inc.dev {
+		// Device swapped (SetDevice): every cached value is priced with
+		// the wrong tables.
+		inc.dev = a.Dev
+		inc.valid = false
+	}
+	sc := inc.sc
+	if !inc.valid {
+		a.fillTermVals(temps, sc.termVal)
+		a.seedArrivals(temps, sc.arrival)
+		a.propagate(temps, sc.arrival, sc.termVal, sc.worstIn, sc.worstEdge)
+		copy(inc.temps, temps)
+		inc.valid = true
+		return a.finish(temps, sc)
+	}
+
+	c := a.comp
+	dev := a.Dev
+	inc.epoch++
+	epoch := inc.epoch
+
+	// Diff the temperature map and re-price the pairs on moved tiles,
+	// collecting only the pairs whose delay value actually changed.
+	inc.dirtyUniq = inc.dirtyUniq[:0]
+	anyTile := false
+	for t := range temps {
+		if temps[t] == inc.temps[t] {
+			continue
+		}
+		anyTile = true
+		inc.tileMark[t] = epoch
+		for _, id := range inc.tileUniq[inc.tileUniqLo[t]:inc.tileUniqLo[t+1]] {
+			u := c.uniq[id]
+			if v := dev.Delay(u.kind, temps[u.tile]); v != sc.termVal[id] {
+				sc.termVal[id] = v
+				inc.dirtyUniq = append(inc.dirtyUniq, id)
+			}
+		}
+	}
+	copy(inc.temps, temps)
+	if !anyTile {
+		return a.finish(temps, sc)
+	}
+
+	// Dense fallback: when a quarter of the pairs moved, walking the dirty
+	// frontier costs more than the straight sweep it would replay.
+	if len(inc.dirtyUniq)*4 > len(c.uniq) {
+		a.seedArrivals(temps, sc.arrival)
+		a.propagate(temps, sc.arrival, sc.termVal, sc.worstIn, sc.worstEdge)
+		return a.finish(temps, sc)
+	}
+
+	// Mark the arcs fed by repriced pairs.
+	for _, id := range inc.dirtyUniq {
+		for _, e := range inc.uniqEdge[inc.uniqEdgeLo[id]:inc.uniqEdgeLo[id+1]] {
+			inc.edgeMark[e] = epoch
+		}
+	}
+
+	// Re-launch sources on moved tiles (srcZero arrivals are 0 at any
+	// temperature, so only clocked classes can move).
+	for k, id := range c.srcID {
+		if inc.tileMark[c.srcTile[k]] != epoch || c.srcClass[k] == srcZero {
+			continue
+		}
+		var v float64
+		switch c.srcClass[k] {
+		case srcClkToQ:
+			v = dev.FFClkToQ(temps[c.srcTile[k]])
+		case srcBRAM:
+			v = dev.Delay(coffe.BRAM, temps[c.srcTile[k]])
+		}
+		if v != sc.arrival[id] {
+			sc.arrival[id] = v
+			inc.blkMark[id] = epoch
+		}
+	}
+
+	// Frontier propagation in compiled topological order: a node is
+	// recomputed — with propagate's exact inner loop — iff one of its
+	// fan-in arcs was repriced, a predecessor's arrival moved, or its own
+	// LUT delay moved. An untouched node's cached arrival and worst fan-in
+	// are exactly what the dense pass would recompute, because every value
+	// that computation reads is unchanged.
+	termID, termLo, edgeSrc := c.termID, c.termLo, c.edgeSrc
+	arrival, vals := sc.arrival, sc.termVal
+	for k, id := range c.comboID {
+		lo, hi := c.comboEdgeLo[k], c.comboEdgeLo[k+1]
+		dirty := c.comboIsLUT[k] && inc.tileMark[c.comboTile[k]] == epoch
+		if !dirty {
+			for e := lo; e < hi; e++ {
+				if inc.edgeMark[e] == epoch || inc.blkMark[edgeSrc[e]] == epoch {
+					dirty = true
+					break
+				}
+			}
+		}
+		if !dirty {
+			continue
+		}
+		in, inIdx, inEdge := 0.0, int32(-1), int32(-1)
+		for e := lo; e < hi; e++ {
+			delay := 0.0
+			for _, tid := range termID[termLo[e]:termLo[e+1]] {
+				delay += vals[tid]
+			}
+			if t := arrival[edgeSrc[e]] + delay; t > in {
+				in, inIdx, inEdge = t, edgeSrc[e], e
+			}
+		}
+		sc.worstIn[id] = inIdx
+		sc.worstEdge[id] = inEdge
+		if c.comboIsLUT[k] {
+			in += dev.Delay(lutKind, temps[c.comboTile[k]])
+		}
+		if in != arrival[id] {
+			arrival[id] = in
+			inc.blkMark[id] = epoch
+		}
+	}
+
+	// The endpoint scan, hard-block constraints, and trace re-run in full:
+	// they are cheap relative to propagation and depend on temps directly.
+	return a.finish(temps, sc)
+}

@@ -1,0 +1,153 @@
+package sta
+
+import (
+	"math/rand"
+	"testing"
+
+	"tafpga/internal/coffe"
+	"tafpga/internal/techmodel"
+)
+
+// requireSameReport demands every field of two reports match bit for bit —
+// the incremental analyzer performs the exact floating-point expressions of
+// the dense pass on every value it touches, so == is the contract, not a
+// tolerance.
+func requireSameReport(t *testing.T, label string, got, want Report) {
+	t.Helper()
+	if got.PeriodPs != want.PeriodPs {
+		t.Fatalf("%s: period %v != %v", label, got.PeriodPs, want.PeriodPs)
+	}
+	if got.FmaxMHz != want.FmaxMHz {
+		t.Fatalf("%s: fmax %v != %v", label, got.FmaxMHz, want.FmaxMHz)
+	}
+	if got.CriticalEnd != want.CriticalEnd {
+		t.Fatalf("%s: endpoint %d != %d", label, got.CriticalEnd, want.CriticalEnd)
+	}
+	if got.Sequential != want.Sequential {
+		t.Fatalf("%s: sequential %v != %v", label, got.Sequential, want.Sequential)
+	}
+	if len(got.Breakdown) != len(want.Breakdown) {
+		t.Fatalf("%s: breakdown %v != %v", label, got.Breakdown, want.Breakdown)
+	}
+	for k, v := range want.Breakdown {
+		if gv, ok := got.Breakdown[k]; !ok || gv != v {
+			t.Fatalf("%s: breakdown[%v] = %v, want %v", label, k, got.Breakdown[k], v)
+		}
+	}
+}
+
+// TestIncrementalMatchesAnalyzeDense runs the incremental analyzer through
+// the full dense map suite in sequence — every probe changes most tiles, so
+// this exercises the dense-fallback path against the Analyze oracle.
+func TestIncrementalMatchesAnalyzeDense(t *testing.T) {
+	an := analyzer(t)
+	inc := NewIncremental(an)
+	for mi, temps := range testTempMaps(an) {
+		requireSameReport(t, "dense map", inc.Analyze(temps), an.Analyze(temps))
+		_ = mi
+	}
+}
+
+// TestIncrementalMatchesAnalyzeLocal perturbs small pseudo-random tile
+// subsets between probes — the frontier-propagation path — and checks every
+// probe against a fresh dense Analyze at the same temperatures.
+func TestIncrementalMatchesAnalyzeLocal(t *testing.T) {
+	an := analyzer(t)
+	n := an.PL.Grid.NumTiles()
+	inc := NewIncremental(an)
+	rng := rand.New(rand.NewSource(7))
+
+	temps := UniformTemps(n, 40)
+	requireSameReport(t, "initial", inc.Analyze(temps), an.Analyze(temps))
+
+	for trial := 0; trial < 12; trial++ {
+		// Perturb between 1 tile and ~3% of the map.
+		k := 1 + rng.Intn(1+n/32)
+		for j := 0; j < k; j++ {
+			temps[rng.Intn(n)] += rng.Float64()*20 - 10
+		}
+		requireSameReport(t, "local probe", inc.Analyze(temps), an.Analyze(temps))
+	}
+}
+
+// TestIncrementalRepeatedMap: probing the identical map twice must return
+// identical reports without invalidating anything.
+func TestIncrementalRepeatedMap(t *testing.T) {
+	an := analyzer(t)
+	inc := NewIncremental(an)
+	temps := UniformTemps(an.PL.Grid.NumTiles(), 61.5)
+	first := inc.Analyze(temps)
+	requireSameReport(t, "repeat", inc.Analyze(temps), first)
+	requireSameReport(t, "repeat vs oracle", inc.Analyze(temps), an.Analyze(temps))
+}
+
+// TestIncrementalTracksSetDevice: swapping the device characterization must
+// invalidate the cached pricing (the values were computed from the old
+// tables).
+func TestIncrementalTracksSetDevice(t *testing.T) {
+	an := analyzer(t)
+	orig := an.Dev
+	defer an.SetDevice(orig)
+
+	inc := NewIncremental(an)
+	temps := UniformTemps(an.PL.Grid.NumTiles(), 55)
+	requireSameReport(t, "before swap", inc.Analyze(temps), an.Analyze(temps))
+
+	hot := coffe.MustSizeDevice(techmodel.Default22nm(), coffe.DefaultParams(), 85)
+	an.SetDevice(hot)
+	requireSameReport(t, "after swap", inc.Analyze(temps), an.Analyze(temps))
+}
+
+// TestIncrementalGuardbandTrajectory replays the kind of temperature
+// sequence Algorithm 1 produces — ambient start, successive full-map
+// nudges shrinking toward convergence, then a margined final probe — and
+// holds every step to the oracle.
+func TestIncrementalGuardbandTrajectory(t *testing.T) {
+	an := analyzer(t)
+	n := an.PL.Grid.NumTiles()
+	inc := NewIncremental(an)
+	rng := rand.New(rand.NewSource(11))
+
+	temps := UniformTemps(n, 25)
+	step := 8.0
+	for iter := 0; iter < 6; iter++ {
+		requireSameReport(t, "trajectory", inc.Analyze(temps), an.Analyze(temps))
+		for i := range temps {
+			temps[i] += step * (0.5 + rng.Float64())
+		}
+		step *= 0.45
+	}
+	for i := range temps {
+		temps[i] += 0.5 // the δT margin
+	}
+	requireSameReport(t, "margined", inc.Analyze(temps), an.Analyze(temps))
+}
+
+// BenchmarkSTAIncrementalLocal measures the delta layer's payoff on
+// localized perturbations: one tile nudged between probes.
+func BenchmarkSTAIncrementalLocal(b *testing.B) {
+	an := analyzer(b)
+	n := an.PL.Grid.NumTiles()
+	inc := NewIncremental(an)
+	temps := UniformTemps(n, 45)
+	inc.Analyze(temps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		temps[i%n] += 0.125
+		inc.Analyze(temps)
+	}
+}
+
+// BenchmarkSTAAnalyzeLocal is the dense baseline for the same probe
+// sequence.
+func BenchmarkSTAAnalyzeLocal(b *testing.B) {
+	an := analyzer(b)
+	n := an.PL.Grid.NumTiles()
+	temps := UniformTemps(n, 45)
+	an.Analyze(temps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		temps[i%n] += 0.125
+		an.Analyze(temps)
+	}
+}

@@ -148,15 +148,22 @@ func (a *Analyzer) sourceLaunch(id int, temps []float64) float64 {
 // allocation beyond the returned report — and is numerically identical to
 // AnalyzeReference, the seed implementation it replaced.
 func (a *Analyzer) Analyze(temps []float64) Report {
-	dev := a.Dev
-	c := a.comp
 	sc := a.getScratch()
 	defer a.scratch.Put(sc)
-	arrival, worstIn, worstEdge, vals := sc.arrival, sc.worstIn, sc.worstEdge, sc.termVal
 
-	a.fillTermVals(temps, vals)
-	a.seedArrivals(temps, arrival)
-	a.propagate(temps, arrival, vals, worstIn, worstEdge)
+	a.fillTermVals(temps, sc.termVal)
+	a.seedArrivals(temps, sc.arrival)
+	a.propagate(temps, sc.arrival, sc.termVal, sc.worstIn, sc.worstEdge)
+	return a.finish(temps, sc)
+}
+
+// finish runs the endpoint scan, the hard-block constraints, and the
+// critical-path trace over an already-propagated working set. It is a pure
+// function of (temps, sc), shared by Analyze and the incremental analyzer.
+func (a *Analyzer) finish(temps []float64, sc *analyzeScratch) Report {
+	dev := a.Dev
+	c := a.comp
+	arrival, worstIn, worstEdge, vals := sc.arrival, sc.worstIn, sc.worstEdge, sc.termVal
 
 	// Endpoint requirements. The worst fan-in arc of the winning endpoint
 	// is recorded here so traceCritical never re-prices it.

@@ -21,7 +21,7 @@ var (
 	tDev *coffe.Device
 )
 
-func analyzer(t *testing.T) *Analyzer {
+func analyzer(t testing.TB) *Analyzer {
 	t.Helper()
 	once.Do(func() {
 		kit := techmodel.Default22nm()

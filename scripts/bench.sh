@@ -17,6 +17,11 @@
 #   OUT=path    output JSON (default per suite, in the repo root)
 #   BENCHTIME=  go test -benchtime value (default 10x for inner, 1x for
 #               flow — a cold mcml build takes tens of seconds)
+#   ROUTE_WORKERS=  router worker count for the flow suite (0/unset =
+#               GOMAXPROCS). The routed result is byte-identical for every
+#               value; the effective count is recorded in the JSON so a
+#               wall-clock number is never compared across machine shapes
+#               unknowingly.
 #
 # The optimized and seed kernels live in the same binary (Analyze vs
 # AnalyzeReference, Solve vs SolveReference, Place vs PlaceReference, Route
@@ -44,18 +49,28 @@ inner | flow)
 esac
 COUNT="${1:-3}"
 
+ROUTE_WORKERS_JSON=""
 case "$SUITE" in
 inner)
-	BENCH='BenchmarkHotspotSolve|BenchmarkSTAAnalyze|BenchmarkSTASlacks|BenchmarkGuardbandRun'
+	BENCH='BenchmarkHotspotSolve|BenchmarkSTAAnalyze|BenchmarkSTAIncremental|BenchmarkSTASlacks|BenchmarkGuardbandRun'
 	BENCHTIME="${BENCHTIME:-10x}"
 	OUT="${OUT:-BENCH_inner_loop.json}"
-	PAIRS='HotspotSolve=HotspotSolveReference,HotspotSolveIterative=HotspotSolveReference,STAAnalyze=STAAnalyzeReference,GuardbandRun=GuardbandRunReference'
+	PAIRS='HotspotSolve=HotspotSolveReference,HotspotSolveIterative=HotspotSolveReference,STAAnalyze=STAAnalyzeReference,STAIncrementalLocal=STAAnalyzeLocal,GuardbandRun=GuardbandRunReference'
 	;;
 flow)
 	BENCH='BenchmarkPlace|BenchmarkRoute|BenchmarkFlowBuild'
 	BENCHTIME="${BENCHTIME:-1x}"
 	OUT="${OUT:-BENCH_flow.json}"
 	PAIRS='Place=PlaceReference,Route=RouteReference,FlowBuild=FlowBuildReference'
+	# Record the effective router worker count alongside the numbers: the
+	# routed bytes are identical for every value, but the wall clock is not.
+	TAFPGA_ROUTE_WORKERS="${ROUTE_WORKERS:-0}"
+	export TAFPGA_ROUTE_WORKERS
+	if [ "$TAFPGA_ROUTE_WORKERS" -gt 0 ] 2>/dev/null; then
+		ROUTE_WORKERS_JSON="$TAFPGA_ROUTE_WORKERS"
+	else
+		ROUTE_WORKERS_JSON="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+	fi
 	;;
 esac
 
@@ -67,7 +82,7 @@ go test -run '^$' \
 	-bench "$BENCH" \
 	-benchmem -benchtime="$BENCHTIME" -count="$COUNT" . | tee "$RAW" >&2
 
-awk -v count="$COUNT" -v benchtime="$BENCHTIME" -v suite="$SUITE" -v pairspec="$PAIRS" '
+awk -v count="$COUNT" -v benchtime="$BENCHTIME" -v suite="$SUITE" -v pairspec="$PAIRS" -v routeworkers="$ROUTE_WORKERS_JSON" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)       # strip -GOMAXPROCS suffix
@@ -84,6 +99,7 @@ END {
     printf "  \"goarch\": \"%s\",\n", meta["goarch:"]
     printf "  \"count\": %d,\n", count
     printf "  \"benchtime\": \"%s\",\n", benchtime
+    if (routeworkers != "") printf "  \"route_workers\": %s,\n", routeworkers
     printf "  \"benchmarks\": {\n"
     n = 0
     for (k in ns) order[++n] = k
