@@ -1,0 +1,128 @@
+// Package cluster scales the serving layer horizontally: N tafpgad
+// replicas coordinated by rendezvous (highest-random-weight) hashing on
+// canonical content keys. A Ring maps any key to a deterministic preference
+// order over the replicas; the Router (router.go) is an HTTP front-end that
+// forwards job submissions to the key's owner, fails over down the
+// preference list when the owner is unreachable, proxies job reads and
+// NDJSON event streams, and fans job listings out across the fleet.
+//
+// Rendezvous hashing is chosen over a token ring for its simplicity and its
+// minimal-disruption property: adding or removing one replica moves only
+// the keys that replica owned (1/N of the space), never reshuffling keys
+// between surviving replicas — exactly what the journal-backed recovery of
+// PR 5 wants, since a rejoining replica finds its old jobs in its own
+// journal.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Replica names one tafpgad instance in the fleet.
+type Replica struct {
+	// Name is the stable replica identity (journal state, metrics labels,
+	// and the X-Tafpga-Replica response header all use it).
+	Name string `json:"name"`
+	// URL is the replica's base URL, scheme://host:port, no trailing slash.
+	URL string `json:"url"`
+}
+
+// Ring is an immutable rendezvous-hash view of the fleet. Safe for
+// concurrent use.
+type Ring struct {
+	replicas []Replica
+}
+
+// NewRing validates the replica set: at least one member, unique non-empty
+// names, non-empty URLs. Trailing slashes are trimmed off URLs so path
+// joining is uniform.
+func NewRing(replicas []Replica) (*Ring, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("cluster: empty replica set")
+	}
+	seen := make(map[string]bool, len(replicas))
+	out := make([]Replica, 0, len(replicas))
+	for _, r := range replicas {
+		if r.Name == "" {
+			return nil, fmt.Errorf("cluster: replica with empty name (url %q)", r.URL)
+		}
+		if strings.ContainsAny(r.Name, `",= `) {
+			return nil, fmt.Errorf("cluster: replica name %q contains a reserved character", r.Name)
+		}
+		if r.URL == "" {
+			return nil, fmt.Errorf("cluster: replica %s has an empty URL", r.Name)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("cluster: duplicate replica name %q", r.Name)
+		}
+		seen[r.Name] = true
+		r.URL = strings.TrimRight(r.URL, "/")
+		out = append(out, r)
+	}
+	return &Ring{replicas: out}, nil
+}
+
+// ParseRing builds a ring from a comma-separated "name=url,name=url" flag
+// value. Bare URLs (no "=") are auto-named r0, r1, ... by position.
+func ParseRing(spec string) (*Ring, error) {
+	var reps []Replica
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok {
+			name, url = fmt.Sprintf("r%d", i), part
+		}
+		reps = append(reps, Replica{Name: name, URL: url})
+	}
+	return NewRing(reps)
+}
+
+// Replicas returns the members in their declaration order (a copy).
+func (r *Ring) Replicas() []Replica {
+	return append([]Replica(nil), r.replicas...)
+}
+
+// Len is the fleet size.
+func (r *Ring) Len() int { return len(r.replicas) }
+
+// score is the HRW weight of (key, replica): FNV-1a over the key, a
+// separator no key or name contains, and the replica name. 64 bits of
+// FNV-1a mix well enough for load spreading across a handful of replicas,
+// and being in the standard library keeps the ring dependency-free.
+func score(key, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// Rank returns the replicas ordered by descending rendezvous weight for the
+// key: Rank(key)[0] is the owner, the rest are the failover order. The
+// order is a pure function of (key, replica names) — every router and every
+// replica computes the same ranking with no coordination. Ties (vanishingly
+// rare with 64-bit scores) break by name so the order stays total.
+func (r *Ring) Rank(key string) []Replica {
+	ranked := append([]Replica(nil), r.replicas...)
+	scores := make(map[string]uint64, len(ranked))
+	for _, rep := range ranked {
+		scores[rep.Name] = score(key, rep.Name)
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		sa, sb := scores[ranked[a].Name], scores[ranked[b].Name]
+		if sa != sb {
+			return sa > sb
+		}
+		return ranked[a].Name < ranked[b].Name
+	})
+	return ranked
+}
+
+// Owner returns the highest-weight replica for the key.
+func (r *Ring) Owner(key string) Replica { return r.Rank(key)[0] }

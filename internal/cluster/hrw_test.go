@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testRing(t *testing.T, names ...string) *Ring {
+	t.Helper()
+	reps := make([]Replica, len(names))
+	for i, n := range names {
+		reps[i] = Replica{Name: n, URL: "http://host-" + n}
+	}
+	r, err := NewRing(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRankDeterministic pins the core routing contract: the ranking is a
+// pure function of (key, names) — independent of declaration order and
+// stable across calls.
+func TestRankDeterministic(t *testing.T) {
+	a := testRing(t, "r0", "r1", "r2")
+	b := testRing(t, "r2", "r0", "r1")
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ra, rb := a.Rank(key), b.Rank(key)
+		for j := range ra {
+			if ra[j].Name != rb[j].Name {
+				t.Fatalf("key %q: ranking depends on declaration order: %v vs %v", key, ra, rb)
+			}
+		}
+		if again := a.Rank(key); again[0].Name != ra[0].Name {
+			t.Fatalf("key %q: unstable owner", key)
+		}
+	}
+}
+
+// TestRankCoversAllReplicas checks every ranking is a permutation of the
+// fleet.
+func TestRankCoversAllReplicas(t *testing.T) {
+	r := testRing(t, "r0", "r1", "r2", "r3")
+	ranked := r.Rank("some-key")
+	if len(ranked) != 4 {
+		t.Fatalf("rank returned %d replicas, want 4", len(ranked))
+	}
+	seen := map[string]bool{}
+	for _, rep := range ranked {
+		if seen[rep.Name] {
+			t.Fatalf("replica %s appears twice in %v", rep.Name, ranked)
+		}
+		seen[rep.Name] = true
+	}
+}
+
+// TestOwnerSpread sanity-checks load spreading: over many keys every
+// replica owns a non-trivial share.
+func TestOwnerSpread(t *testing.T) {
+	r := testRing(t, "r0", "r1", "r2")
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("%064x", i)).Name]++
+	}
+	for name, c := range counts {
+		if c < n/6 || c > n/2+n/6 {
+			t.Fatalf("owner spread badly skewed: %s owns %d of %d (%v)", name, c, n, counts)
+		}
+	}
+}
+
+// TestMinimalDisruption pins the rendezvous property the failover story
+// relies on: removing one replica re-homes only the keys it owned.
+func TestMinimalDisruption(t *testing.T) {
+	full := testRing(t, "r0", "r1", "r2")
+	reduced := testRing(t, "r0", "r2")
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before.Name != "r1" && after.Name != before.Name {
+			t.Fatalf("key %q moved from %s to %s though its owner survived", key, before.Name, after.Name)
+		}
+		if before.Name == "r1" {
+			// The orphaned key must land on the full ring's second choice:
+			// that is what the router's failover walk does.
+			if want := full.Rank(key)[1].Name; after.Name != want {
+				t.Fatalf("key %q: failover owner %s, want the rank-2 replica %s", key, after.Name, want)
+			}
+		}
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	cases := [][]Replica{
+		nil,
+		{{Name: "", URL: "http://x"}},
+		{{Name: "a", URL: ""}},
+		{{Name: "a", URL: "http://x"}, {Name: "a", URL: "http://y"}},
+		{{Name: `bad"name`, URL: "http://x"}},
+	}
+	for i, reps := range cases {
+		if _, err := NewRing(reps); err == nil {
+			t.Errorf("case %d: NewRing accepted invalid set %v", i, reps)
+		}
+	}
+}
+
+func TestParseRing(t *testing.T) {
+	r, err := ParseRing("a=http://h1/, http://h2, c=http://h3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := r.Replicas()
+	if len(reps) != 3 {
+		t.Fatalf("got %d replicas, want 3", len(reps))
+	}
+	if reps[0].Name != "a" || reps[0].URL != "http://h1" {
+		t.Errorf("first replica %+v, want a=http://h1 (trailing slash trimmed)", reps[0])
+	}
+	if reps[1].Name != "r1" || reps[1].URL != "http://h2" {
+		t.Errorf("bare URL not auto-named by position: %+v", reps[1])
+	}
+	if _, err := ParseRing(""); err == nil {
+		t.Error("empty spec accepted")
+	}
+}

@@ -1,0 +1,585 @@
+package cluster
+
+// router.go is the fleet's HTTP front-end. It speaks the same /v1 surface
+// as a single tafpgad, so clients need not know whether they talk to one
+// daemon or a fleet:
+//
+//	POST   /v1/jobs             decode + validate, forward to the spec
+//	                            key's HRW owner, fail over down the ranking
+//	GET    /v1/jobs             fan out to every replica, merge
+//	GET    /v1/jobs/{id}        proxy to the job's replica
+//	GET    /v1/jobs/{id}/events proxy the NDJSON stream, flushing per line
+//	DELETE /v1/jobs/{id}        proxy to the job's replica
+//	GET    /v1/cluster          fleet topology and liveness
+//	GET    /metrics             the router's own registry
+//	GET    /healthz, /readyz    readiness = at least one ready replica
+//
+// Replica responses pass through byte-identical — the router never
+// re-encodes a job body, so a result fetched through the router is exactly
+// the bytes the owning replica served. The owning replica's name rides in
+// the X-Tafpga-Replica response header; job IDs are replica-local, so a
+// client that wants precise addressing echoes the header back as
+// ?replica=name (the router also remembers every id it routed, and probes
+// the fleet for ids it has never seen, e.g. after a router restart).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tafpga/internal/jobs"
+	"tafpga/internal/obs"
+)
+
+// ReplicaHeader carries the owning replica's name on every proxied
+// response, and clients may pin a job read to a replica with the
+// ?replica= query parameter carrying the same value.
+const ReplicaHeader = "X-Tafpga-Replica"
+
+// RouterOptions tunes a Router.
+type RouterOptions struct {
+	// DownTTL is how long a replica stays skipped after a transport error
+	// before the router retries it (default 2s). Failover still reaches
+	// skipped replicas when every ranked candidate is down.
+	DownTTL time.Duration
+	// ProxyTimeout bounds non-streaming proxied calls (default 5m — a
+	// guardband job view is cheap, but a submit response waits only for
+	// admission, never for the run).
+	ProxyTimeout time.Duration
+	// Registry receives the router's metrics (nil: a private throwaway).
+	Registry *obs.Registry
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Router forwards the tafpgad API across a Ring of replicas.
+type Router struct {
+	ring    *Ring
+	client  *http.Client
+	reg     *obs.Registry
+	downTTL time.Duration
+	timeout time.Duration
+	now     func() time.Time
+
+	requests  *obs.Counter
+	errs      *obs.Counter
+	failovers *obs.Counter
+	forwards  map[string]*obs.Counter // by replica name
+	downGauge map[string]*obs.Gauge   // by replica name
+
+	mu     sync.Mutex
+	routes map[string]string    // job id → replica name, learned at submit
+	down   map[string]time.Time // replica name → retry-after instant
+}
+
+// NewRouter builds a router over the ring.
+func NewRouter(ring *Ring, o RouterOptions) *Router {
+	if o.DownTTL <= 0 {
+		o.DownTTL = 2 * time.Second
+	}
+	if o.ProxyTimeout <= 0 {
+		o.ProxyTimeout = 5 * time.Minute
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	rt := &Router{
+		ring: ring,
+		// No client-level timeout: event streams are long-lived. Dials are
+		// bounded so a dead replica fails over in about a second.
+		client: &http.Client{Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: time.Second}).DialContext,
+			MaxIdleConnsPerHost: 16,
+		}},
+		reg:       o.Registry,
+		downTTL:   o.DownTTL,
+		timeout:   o.ProxyTimeout,
+		now:       o.Now,
+		requests:  o.Registry.Counter("tafpgad_router_requests_total", "Requests handled by the cluster router, any route or status."),
+		errs:      o.Registry.Counter("tafpgad_router_errors_total", "Router requests answered with a 4xx or 5xx status."),
+		failovers: o.Registry.Counter("tafpgad_router_failovers_total", "Submissions that skipped an unreachable owner for a lower-ranked replica."),
+		forwards:  map[string]*obs.Counter{},
+		downGauge: map[string]*obs.Gauge{},
+		routes:    map[string]string{},
+		down:      map[string]time.Time{},
+	}
+	for _, rep := range ring.Replicas() {
+		labels := fmt.Sprintf("replica=%q", rep.Name)
+		rt.forwards[rep.Name] = o.Registry.CounterL("tafpgad_router_forwards_total", "Requests forwarded to a replica, by replica.", labels)
+		rt.downGauge[rep.Name] = o.Registry.GaugeL("tafpgad_router_replica_down", "1 while the replica is skipped after a transport error.", labels)
+	}
+	return rt
+}
+
+// Handler builds the route table.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", rt.submit)
+	mux.HandleFunc("GET /v1/jobs", rt.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.proxyJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", rt.proxyEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", rt.proxyJob)
+	mux.HandleFunc("GET /v1/cluster", rt.cluster)
+	mux.HandleFunc("GET /metrics", rt.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		rt.requests.Inc()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", rt.readyz)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (rt *Router) failJSON(w http.ResponseWriter, status int, err error) {
+	rt.errs.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: err.Error()})
+}
+
+// markDown records a transport failure: the replica is skipped for DownTTL.
+func (rt *Router) markDown(name string) {
+	rt.mu.Lock()
+	rt.down[name] = rt.now().Add(rt.downTTL)
+	rt.mu.Unlock()
+	rt.downGauge[name].Set(1)
+}
+
+// isDown reports whether the replica is inside its skip window, clearing
+// the mark (and the gauge) once the window has passed.
+func (rt *Router) isDown(name string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	until, ok := rt.down[name]
+	if !ok {
+		return false
+	}
+	if rt.now().After(until) {
+		delete(rt.down, name)
+		rt.downGauge[name].Set(0)
+		return false
+	}
+	return true
+}
+
+// learn remembers which replica owns a job id.
+func (rt *Router) learn(id, replica string) {
+	if id == "" {
+		return
+	}
+	rt.mu.Lock()
+	rt.routes[id] = replica
+	rt.mu.Unlock()
+}
+
+// learned returns the remembered replica for a job id.
+func (rt *Router) learned(id string) (string, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	name, ok := rt.routes[id]
+	return name, ok
+}
+
+// byName returns the ring member with the given name.
+func (rt *Router) byName(name string) (Replica, bool) {
+	for _, rep := range rt.ring.Replicas() {
+		if rep.Name == name {
+			return rep, true
+		}
+	}
+	return Replica{}, false
+}
+
+// do issues a proxied request to one replica with the router's timeout.
+func (rt *Router) do(ctx context.Context, method string, rep Replica, path string, body io.Reader) (*http.Response, context.CancelFunc, error) {
+	cctx, cancel := context.WithTimeout(ctx, rt.timeout)
+	req, err := http.NewRequestWithContext(cctx, method, rep.URL+path, body)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	rt.forwards[rep.Name].Inc()
+	return resp, cancel, nil
+}
+
+// relay copies a replica response to the client byte-for-byte, stamping the
+// replica header.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, replica string) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set(ReplicaHeader, replica)
+	if resp.StatusCode >= 400 {
+		rt.errs.Inc()
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// submit decodes and validates the spec (admission control without a hop),
+// computes its canonical content key, and forwards the original bytes to
+// the replicas in HRW rank order: the owner first, then — on a transport
+// error or a 503 (draining or warming) — each failover candidate. Identical
+// specs always rank identically, so fleet-wide dedup degrades only while a
+// replica is actually unreachable.
+func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Inc()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		rt.failJSON(w, http.StatusBadRequest, fmt.Errorf("read spec: %w", err))
+		return
+	}
+	var spec jobs.Spec
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		rt.failJSON(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		rt.failJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	ranked := rt.ring.Rank(spec.Key())
+
+	// Two passes: first the replicas believed up, then — only if every
+	// candidate failed — the marked-down ones, so a fully-down fleet still
+	// gets one honest connection attempt per replica.
+	var lastErr error
+	for pass := 0; pass < 2; pass++ {
+		for i, rep := range ranked {
+			if (rt.isDown(rep.Name)) != (pass == 1) {
+				continue
+			}
+			resp, cancel, err := rt.do(r.Context(), http.MethodPost, rep, "/v1/jobs", strings.NewReader(string(body)))
+			if err != nil {
+				rt.markDown(rep.Name)
+				lastErr = err
+				continue
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				// Draining or warming: not a crash, but not accepting work.
+				lastErr = fmt.Errorf("replica %s: %s", rep.Name, resp.Status)
+				resp.Body.Close()
+				cancel()
+				continue
+			}
+			if i > 0 || pass == 1 {
+				rt.failovers.Inc()
+			}
+			respBody, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			cancel()
+			if err != nil {
+				rt.markDown(rep.Name)
+				lastErr = err
+				continue
+			}
+			if resp.StatusCode < 400 {
+				var v struct {
+					ID string `json:"id"`
+				}
+				if json.Unmarshal(respBody, &v) == nil {
+					rt.learn(v.ID, rep.Name)
+				}
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "" {
+				w.Header().Set("Content-Type", ct)
+			}
+			w.Header().Set(ReplicaHeader, rep.Name)
+			if resp.StatusCode >= 400 {
+				rt.errs.Inc()
+			}
+			w.WriteHeader(resp.StatusCode)
+			w.Write(respBody)
+			return
+		}
+	}
+	rt.failJSON(w, http.StatusBadGateway, fmt.Errorf("no replica accepted the job: %v", lastErr))
+}
+
+// resolve finds the replica serving a job id: the ?replica= pin wins, then
+// the learned route, then a fleet-wide probe (GET the id on every replica,
+// first 200 wins — job ids are replica-local, so a collision across
+// replicas is resolved by pinning).
+func (rt *Router) resolve(r *http.Request, id string) (Replica, error) {
+	if pin := r.URL.Query().Get("replica"); pin != "" {
+		rep, ok := rt.byName(pin)
+		if !ok {
+			return Replica{}, fmt.Errorf("unknown replica %q", pin)
+		}
+		return rep, nil
+	}
+	if name, ok := rt.learned(id); ok {
+		if rep, ok := rt.byName(name); ok {
+			return rep, nil
+		}
+	}
+	for _, rep := range rt.ring.Replicas() {
+		if rt.isDown(rep.Name) {
+			continue
+		}
+		resp, cancel, err := rt.do(r.Context(), http.MethodGet, rep, "/v1/jobs/"+id, nil)
+		if err != nil {
+			rt.markDown(rep.Name)
+			continue
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		cancel()
+		if code == http.StatusOK {
+			rt.learn(id, rep.Name)
+			return rep, nil
+		}
+	}
+	return Replica{}, jobs.ErrNotFound
+}
+
+// proxyJob forwards GET or DELETE /v1/jobs/{id} to the job's replica.
+func (rt *Router) proxyJob(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Inc()
+	id := r.PathValue("id")
+	rep, err := rt.resolve(r, id)
+	if err != nil {
+		status := http.StatusNotFound
+		if !errors.Is(err, jobs.ErrNotFound) {
+			status = http.StatusBadRequest
+		}
+		rt.failJSON(w, status, err)
+		return
+	}
+	resp, cancel, err := rt.do(r.Context(), r.Method, rep, "/v1/jobs/"+id, nil)
+	if err != nil {
+		rt.markDown(rep.Name)
+		rt.failJSON(w, http.StatusBadGateway, fmt.Errorf("replica %s: %w", rep.Name, err))
+		return
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	rt.relay(w, resp, rep.Name)
+}
+
+// proxyEvents streams a job's NDJSON events through, flushing as lines
+// arrive so watchers behind the router still see Algorithm-1 iterations
+// live. The proxied request deliberately has no timeout: the stream ends
+// when the job reaches a terminal state or either side goes away.
+func (rt *Router) proxyEvents(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Inc()
+	id := r.PathValue("id")
+	rep, err := rt.resolve(r, id)
+	if err != nil {
+		rt.failJSON(w, http.StatusNotFound, err)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, rep.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		rt.failJSON(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.markDown(rep.Name)
+		rt.failJSON(w, http.StatusBadGateway, fmt.Errorf("replica %s: %w", rep.Name, err))
+		return
+	}
+	defer resp.Body.Close()
+	rt.forwards[rep.Name].Inc()
+	if resp.StatusCode != http.StatusOK {
+		rt.relay(w, resp, rep.Name)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set(ReplicaHeader, rep.Name)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// listedJob is one element of the router's merged listing: the replica
+// name plus the replica's own View bytes, untouched.
+type listedJob struct {
+	Replica string          `json:"replica"`
+	Job     json.RawMessage `json:"job"`
+}
+
+// replicaError marks a replica that could not be listed.
+type replicaError struct {
+	Replica string `json:"replica"`
+	Error   string `json:"error"`
+}
+
+// list fans GET /v1/jobs out to every replica concurrently (the query
+// string — notably ?state= — passes through) and merges the answers in
+// ring order. Each job keeps its replica's bytes verbatim under a
+// {replica, job} wrapper, since ids are replica-local. Unreachable
+// replicas appear as {replica, error} entries rather than failing the
+// whole listing.
+func (rt *Router) list(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Inc()
+	// Validate the filter here: a bad ?state= is the client's error and
+	// must answer 400, not a 200 full of per-replica error entries.
+	if _, err := jobs.ParseState(r.URL.Query().Get("state")); err != nil {
+		rt.failJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	reps := rt.ring.Replicas()
+	path := "/v1/jobs"
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	type answer struct {
+		views []json.RawMessage
+		err   error
+	}
+	answers := make([]answer, len(reps))
+	var wg sync.WaitGroup
+	for i, rep := range reps {
+		wg.Add(1)
+		go func(i int, rep Replica) {
+			defer wg.Done()
+			resp, cancel, err := rt.do(r.Context(), http.MethodGet, rep, path, nil)
+			if err != nil {
+				rt.markDown(rep.Name)
+				answers[i].err = err
+				return
+			}
+			defer cancel()
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				answers[i].err = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+				return
+			}
+			answers[i].err = json.NewDecoder(resp.Body).Decode(&answers[i].views)
+		}(i, rep)
+	}
+	wg.Wait()
+
+	jobsOut := make([]listedJob, 0, 16)
+	var errsOut []replicaError
+	for i, rep := range reps {
+		if answers[i].err != nil {
+			errsOut = append(errsOut, replicaError{Replica: rep.Name, Error: answers[i].err.Error()})
+			continue
+		}
+		for _, v := range answers[i].views {
+			jobsOut = append(jobsOut, listedJob{Replica: rep.Name, Job: v})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(struct {
+		Jobs   []listedJob    `json:"jobs"`
+		Errors []replicaError `json:"errors,omitempty"`
+	}{Jobs: jobsOut, Errors: errsOut})
+}
+
+// replicaStatus is one member's row in the /v1/cluster answer.
+type replicaStatus struct {
+	Replica
+	Ready bool `json:"ready"`
+	Down  bool `json:"down"`
+}
+
+// probeReady asks one replica's /readyz with a short budget.
+func (rt *Router) probeReady(ctx context.Context, rep Replica) bool {
+	cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, rep.URL+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.markDown(rep.Name)
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// cluster reports the fleet topology and per-replica liveness.
+func (rt *Router) cluster(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Inc()
+	reps := rt.ring.Replicas()
+	out := make([]replicaStatus, len(reps))
+	var wg sync.WaitGroup
+	for i, rep := range reps {
+		wg.Add(1)
+		go func(i int, rep Replica) {
+			defer wg.Done()
+			out[i] = replicaStatus{Replica: rep, Ready: rt.probeReady(r.Context(), rep), Down: rt.isDown(rep.Name)}
+		}(i, rep)
+	}
+	wg.Wait()
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	rt.mu.Lock()
+	learned := len(rt.routes)
+	rt.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Replicas      []replicaStatus `json:"replicas"`
+		LearnedRoutes int             `json:"learned_routes"`
+	}{Replicas: out, LearnedRoutes: learned})
+}
+
+// readyz answers 200 while at least one replica is ready: the fleet can
+// accept work (failover will route around the rest).
+func (rt *Router) readyz(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Inc()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, rep := range rt.ring.Replicas() {
+		if rt.probeReady(r.Context(), rep) {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+	}
+	rt.errs.Inc()
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "no ready replicas")
+}
+
+// metrics renders the router's registry.
+func (rt *Router) metrics(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.reg.WritePrometheus(w)
+}

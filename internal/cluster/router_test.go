@@ -1,0 +1,515 @@
+package cluster
+
+// router_test.go exercises the fleet front-end against httptest fake
+// replicas: content-key routing consistency, failover past a dead or
+// draining owner, byte-identical relay, id resolution (pin → learned →
+// probe), NDJSON event stream proxying, and the fan-out listing merge.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tafpga/internal/jobs"
+)
+
+// fakeReplica is a minimal tafpgad stand-in: it accepts jobs, serves them
+// by id, lists them, streams canned events, and records every query string
+// it saw so tests can assert passthrough.
+type fakeReplica struct {
+	name     string
+	mu       sync.Mutex
+	nextID   int
+	jobs     map[string]jobs.Spec
+	queries  []string
+	draining bool
+	ready    bool
+	srv      *httptest.Server
+}
+
+func newFakeReplica(name string) *fakeReplica {
+	f := &fakeReplica{name: name, jobs: map[string]jobs.Spec{}, ready: true}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.draining {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"draining"}`)
+			return
+		}
+		var spec jobs.Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		f.nextID++
+		id := fmt.Sprintf("%s-%d", f.name, f.nextID)
+		f.jobs[id] = spec
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":%q,"state":"queued","deduped":false}`, id)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		f.queries = append(f.queries, r.URL.RawQuery)
+		w.Header().Set("Content-Type", "application/json")
+		views := make([]map[string]string, 0, len(f.jobs))
+		for id := range f.jobs {
+			views = append(views, map[string]string{"id": id, "state": "done"})
+		}
+		json.NewEncoder(w).Encode(views)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		id := r.PathValue("id")
+		if _, ok := f.jobs[id]; !ok {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintln(w, `{"error":"not found"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"id":%q,"state":"done","served_by":%q}`, id, f.name)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		_, ok := f.jobs[r.PathValue("id")]
+		f.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fl, _ := w.(http.Flusher)
+		for i := 0; i < 3; i++ {
+			fmt.Fprintf(w, `{"seq":%d,"replica":%q}`+"\n", i, f.name)
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		ready := f.ready
+		f.mu.Unlock()
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	f.srv = httptest.NewServer(mux)
+	return f
+}
+
+func (f *fakeReplica) setDraining(v bool) {
+	f.mu.Lock()
+	f.draining = v
+	f.mu.Unlock()
+}
+
+func (f *fakeReplica) setReady(v bool) {
+	f.mu.Lock()
+	f.ready = v
+	f.mu.Unlock()
+}
+
+// fleet spins up n fake replicas named r0..r(n-1) with a ring over them.
+func fleet(t *testing.T, n int) ([]*fakeReplica, *Ring) {
+	t.Helper()
+	reps := make([]*fakeReplica, n)
+	members := make([]Replica, n)
+	for i := range reps {
+		reps[i] = newFakeReplica(fmt.Sprintf("r%d", i))
+		t.Cleanup(reps[i].srv.Close)
+		members[i] = Replica{Name: reps[i].name, URL: reps[i].srv.URL}
+	}
+	ring, err := NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reps, ring
+}
+
+func specFor(ambient float64) (jobs.Spec, string) {
+	s := jobs.Spec{Kind: jobs.KindGuardband, Benchmark: "sha", AmbientC: ambient}
+	body, _ := json.Marshal(s)
+	return s, string(body)
+}
+
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func getPath(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+func TestSubmitRoutesByContentKey(t *testing.T) {
+	reps, ring := fleet(t, 3)
+	h := NewRouter(ring, RouterOptions{}).Handler()
+
+	byName := map[string]*fakeReplica{}
+	for _, f := range reps {
+		byName[f.name] = f
+	}
+	hitOwner := map[string]bool{}
+	for i := 0; i < 12; i++ {
+		spec, body := specFor(20 + float64(i))
+		owner := ring.Owner(spec.Key()).Name
+		for round := 0; round < 2; round++ {
+			w := postJSON(t, h, "/v1/jobs", body)
+			if w.Code != http.StatusAccepted {
+				t.Fatalf("submit %d: status %d, body %s", i, w.Code, w.Body)
+			}
+			if got := w.Header().Get(ReplicaHeader); got != owner {
+				t.Fatalf("spec %d landed on %s, HRW owner is %s", i, got, owner)
+			}
+			var resp struct{ ID string }
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(resp.ID, owner+"-") {
+				t.Fatalf("id %q not minted by owner %s", resp.ID, owner)
+			}
+			// Byte-identical relay: the router's body is exactly the fake's.
+			if !strings.Contains(w.Body.String(), fmt.Sprintf(`"id":%q`, resp.ID)) {
+				t.Fatalf("relayed body re-encoded: %s", w.Body)
+			}
+		}
+		hitOwner[owner] = true
+		// The spec actually reached the owner process.
+		f := byName[owner]
+		f.mu.Lock()
+		n := len(f.jobs)
+		f.mu.Unlock()
+		if n == 0 {
+			t.Fatalf("owner %s holds no jobs", owner)
+		}
+	}
+	if len(hitOwner) < 2 {
+		t.Fatalf("12 distinct specs all owned by %d replica(s) — HRW spread broken", len(hitOwner))
+	}
+}
+
+func TestSubmitRejectsInvalidSpecLocally(t *testing.T) {
+	reps, ring := fleet(t, 2)
+	h := NewRouter(ring, RouterOptions{}).Handler()
+	for _, body := range []string{
+		`{"kind":"guardband","benchmark":"nope","ambient_c":25}`,
+		`{"kind":"mystery"}`,
+		`not json`,
+	} {
+		if w := postJSON(t, h, "/v1/jobs", body); w.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, w.Code)
+		}
+	}
+	for _, f := range reps {
+		f.mu.Lock()
+		if len(f.jobs) != 0 {
+			t.Errorf("invalid spec reached replica %s", f.name)
+		}
+		f.mu.Unlock()
+	}
+}
+
+func TestSubmitFailsOverDeadOwner(t *testing.T) {
+	reps, ring := fleet(t, 3)
+	rt := NewRouter(ring, RouterOptions{})
+	h := rt.Handler()
+
+	spec, body := specFor(33)
+	ranked := ring.Rank(spec.Key())
+	owner, second := ranked[0], ranked[1]
+
+	// Kill the owner's listener outright: transport error, not a 5xx.
+	for _, f := range reps {
+		if f.name == owner.Name {
+			f.srv.Close()
+		}
+	}
+	w := postJSON(t, h, "/v1/jobs", body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("failover submit: status %d, body %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(ReplicaHeader); got != second.Name {
+		t.Fatalf("failover landed on %s, want rank-2 %s", got, second.Name)
+	}
+	if n := rt.failovers.Value(); n != 1 {
+		t.Fatalf("failovers counter = %v, want 1", n)
+	}
+	// The owner is now marked down; the next submit skips it without a dial.
+	if !rt.isDown(owner.Name) {
+		t.Fatal("dead owner not marked down")
+	}
+	w = postJSON(t, h, "/v1/jobs", body)
+	if w.Code != http.StatusAccepted || w.Header().Get(ReplicaHeader) != second.Name {
+		t.Fatalf("second submit: status %d via %s", w.Code, w.Header().Get(ReplicaHeader))
+	}
+}
+
+func TestSubmitFailsOverDrainingOwner(t *testing.T) {
+	reps, ring := fleet(t, 3)
+	h := NewRouter(ring, RouterOptions{}).Handler()
+
+	spec, body := specFor(44)
+	ranked := ring.Rank(spec.Key())
+	for _, f := range reps {
+		if f.name == ranked[0].Name {
+			f.setDraining(true)
+		}
+	}
+	w := postJSON(t, h, "/v1/jobs", body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("status %d, body %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(ReplicaHeader); got != ranked[1].Name {
+		t.Fatalf("draining owner: landed on %s, want %s", got, ranked[1].Name)
+	}
+}
+
+func TestSubmitAllDown(t *testing.T) {
+	reps, ring := fleet(t, 2)
+	h := NewRouter(ring, RouterOptions{}).Handler()
+	for _, f := range reps {
+		f.srv.Close()
+	}
+	_, body := specFor(55)
+	if w := postJSON(t, h, "/v1/jobs", body); w.Code != http.StatusBadGateway {
+		t.Fatalf("all-down submit: status %d, want 502", w.Code)
+	}
+}
+
+func TestDownReplicaRecoversAfterTTL(t *testing.T) {
+	_, ring := fleet(t, 2)
+	clock := time.Unix(1000, 0)
+	rt := NewRouter(ring, RouterOptions{DownTTL: 2 * time.Second, Now: func() time.Time { return clock }})
+	rt.markDown("r0")
+	if !rt.isDown("r0") {
+		t.Fatal("markDown did not take")
+	}
+	clock = clock.Add(3 * time.Second)
+	if rt.isDown("r0") {
+		t.Fatal("down mark outlived its TTL")
+	}
+}
+
+func TestProxyJobLearnedAndPinned(t *testing.T) {
+	_, ring := fleet(t, 3)
+	h := NewRouter(ring, RouterOptions{}).Handler()
+
+	spec, body := specFor(66)
+	owner := ring.Owner(spec.Key()).Name
+	w := postJSON(t, h, "/v1/jobs", body)
+	var resp struct{ ID string }
+	json.Unmarshal(w.Body.Bytes(), &resp)
+
+	// Learned route: no pin needed.
+	g := getPath(t, h, "/v1/jobs/"+resp.ID)
+	if g.Code != http.StatusOK || g.Header().Get(ReplicaHeader) != owner {
+		t.Fatalf("learned GET: %d via %q, want 200 via %s", g.Code, g.Header().Get(ReplicaHeader), owner)
+	}
+	if !strings.Contains(g.Body.String(), fmt.Sprintf(`"served_by":%q`, owner)) {
+		t.Fatalf("GET body not the owner's bytes: %s", g.Body)
+	}
+
+	// Pin overrides: ask a replica that does not hold the job.
+	other := "r0"
+	if owner == "r0" {
+		other = "r1"
+	}
+	p := getPath(t, h, "/v1/jobs/"+resp.ID+"?replica="+other)
+	if p.Code != http.StatusNotFound {
+		t.Fatalf("pinned to non-holder: status %d, want 404", p.Code)
+	}
+	if bad := getPath(t, h, "/v1/jobs/"+resp.ID+"?replica=nosuch"); bad.Code != http.StatusBadRequest {
+		t.Fatalf("unknown pin: status %d, want 400", bad.Code)
+	}
+}
+
+func TestProxyJobProbesUnknownID(t *testing.T) {
+	_, ring := fleet(t, 3)
+	rtA := NewRouter(ring, RouterOptions{})
+	spec, body := specFor(77)
+	w := postJSON(t, rtA.Handler(), "/v1/jobs", body)
+	var resp struct{ ID string }
+	json.Unmarshal(w.Body.Bytes(), &resp)
+
+	// A fresh router (restart) has no learned routes: it must probe.
+	rtB := NewRouter(ring, RouterOptions{})
+	g := getPath(t, rtB.Handler(), "/v1/jobs/"+resp.ID)
+	if g.Code != http.StatusOK {
+		t.Fatalf("probe GET: status %d, body %s", g.Code, g.Body)
+	}
+	if got := g.Header().Get(ReplicaHeader); got != ring.Owner(spec.Key()).Name {
+		t.Fatalf("probe resolved to %s", got)
+	}
+	if miss := getPath(t, rtB.Handler(), "/v1/jobs/never-existed"); miss.Code != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", miss.Code)
+	}
+}
+
+func TestProxyEventsStreams(t *testing.T) {
+	_, ring := fleet(t, 3)
+	h := NewRouter(ring, RouterOptions{}).Handler()
+	spec, body := specFor(88)
+	owner := ring.Owner(spec.Key()).Name
+	w := postJSON(t, h, "/v1/jobs", body)
+	var resp struct{ ID string }
+	json.Unmarshal(w.Body.Bytes(), &resp)
+
+	ev := getPath(t, h, "/v1/jobs/"+resp.ID+"/events")
+	if ev.Code != http.StatusOK {
+		t.Fatalf("events: status %d", ev.Code)
+	}
+	if ct := ev.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events Content-Type %q", ct)
+	}
+	if got := ev.Header().Get(ReplicaHeader); got != owner {
+		t.Fatalf("events via %s, want %s", got, owner)
+	}
+	var lines int
+	sc := bufio.NewScanner(ev.Body)
+	for sc.Scan() {
+		var e struct {
+			Seq     int
+			Replica string
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if e.Seq != lines || e.Replica != owner {
+			t.Fatalf("line %d: %+v", lines, e)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("streamed %d lines, want 3", lines)
+	}
+}
+
+func TestListFansOutAndMerges(t *testing.T) {
+	reps, ring := fleet(t, 3)
+	h := NewRouter(ring, RouterOptions{}).Handler()
+
+	for i := 0; i < 6; i++ {
+		_, body := specFor(100 + float64(i))
+		if w := postJSON(t, h, "/v1/jobs", body); w.Code != http.StatusAccepted {
+			t.Fatalf("seed submit %d: %d", i, w.Code)
+		}
+	}
+	w := getPath(t, h, "/v1/jobs?state=done")
+	if w.Code != http.StatusOK {
+		t.Fatalf("list: status %d", w.Code)
+	}
+	var merged struct {
+		Jobs []struct {
+			Replica string          `json:"replica"`
+			Job     json.RawMessage `json:"job"`
+		} `json:"jobs"`
+		Errors []struct{ Replica, Error string } `json:"errors"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Jobs) != 6 || len(merged.Errors) != 0 {
+		t.Fatalf("merged %d jobs, %d errors; want 6, 0", len(merged.Jobs), len(merged.Errors))
+	}
+	// The ?state= filter passed through to every replica.
+	for _, f := range reps {
+		f.mu.Lock()
+		q := append([]string(nil), f.queries...)
+		f.mu.Unlock()
+		if len(q) == 0 || q[len(q)-1] != "state=done" {
+			t.Fatalf("replica %s saw queries %v, want trailing state=done", f.name, q)
+		}
+	}
+
+	// A malformed filter is the client's error: 400 from the router itself.
+	if w := getPath(t, h, "/v1/jobs?state=bogus"); w.Code != http.StatusBadRequest {
+		t.Fatalf("state=bogus → %d, want 400", w.Code)
+	}
+
+	// A dead replica degrades to an {replica, error} entry.
+	reps[2].srv.Close()
+	w = getPath(t, h, "/v1/jobs")
+	json.Unmarshal(w.Body.Bytes(), &merged)
+	if len(merged.Errors) != 1 || merged.Errors[0].Replica != "r2" {
+		t.Fatalf("dead replica errors: %+v", merged.Errors)
+	}
+}
+
+func TestClusterAndReadyz(t *testing.T) {
+	reps, ring := fleet(t, 3)
+	h := NewRouter(ring, RouterOptions{}).Handler()
+
+	w := getPath(t, h, "/v1/cluster")
+	var topo struct {
+		Replicas []struct {
+			Name  string
+			Ready bool
+			Down  bool
+		} `json:"replicas"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &topo); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Replicas) != 3 {
+		t.Fatalf("cluster lists %d replicas", len(topo.Replicas))
+	}
+	for _, r := range topo.Replicas {
+		if !r.Ready || r.Down {
+			t.Fatalf("replica %+v, want ready and up", r)
+		}
+	}
+
+	if w := getPath(t, h, "/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz with full fleet: %d", w.Code)
+	}
+	reps[0].setReady(false)
+	reps[1].setReady(false)
+	if w := getPath(t, h, "/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz with one ready replica: %d", w.Code)
+	}
+	reps[2].setReady(false)
+	if w := getPath(t, h, "/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with none ready: %d", w.Code)
+	}
+}
+
+func TestRouterMetricsExposition(t *testing.T) {
+	_, ring := fleet(t, 2)
+	h := NewRouter(ring, RouterOptions{}).Handler()
+	_, body := specFor(120)
+	postJSON(t, h, "/v1/jobs", body)
+	w := getPath(t, h, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	out := w.Body.String()
+	for _, want := range []string{
+		"tafpgad_router_requests_total",
+		"tafpgad_router_forwards_total",
+		"tafpgad_router_replica_down",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}

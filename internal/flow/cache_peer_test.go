@@ -1,0 +1,253 @@
+package flow
+
+// cache_peer_test.go covers the fleet side of the implementation cache:
+// ReadRaw (the bytes a replica serves to peers), the peer-fill hook on a
+// local miss, rejection of corrupt peer payloads, and the flock protocol
+// when a peer fill races a local writer on one directory.
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// peerKey is a syntactically valid cache key for direct store/lookup tests.
+func peerKey(i int) string { return fmt.Sprintf("%064x", 0xfeed+i) }
+
+// smallPayload builds a trivially valid payload (restore is not exercised
+// by these tests — they stop at the cache layer).
+func smallPayload(n int) *cachePayload {
+	p := &cachePayload{TileOf: make([]int, n), Cost: float64(n), Iters: n, MaxOcc: 1}
+	for i := range p.TileOf {
+		p.TileOf[i] = i
+	}
+	return p
+}
+
+func TestCacheReadRawValidatesKey(t *testing.T) {
+	dir := t.TempDir()
+	// A file outside the keyspace must be unreachable through ReadRaw.
+	if err := os.WriteFile(filepath.Join(dir, "secret"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(dir)
+	for _, bad := range []string{
+		"../secret", "..%2fsecret", "secret", "", strings.Repeat("g", 64),
+		strings.Repeat("A", 64), strings.Repeat("a", 63), strings.Repeat("a", 65),
+	} {
+		if _, ok := c.ReadRaw(bad); ok {
+			t.Errorf("ReadRaw accepted invalid key %q", bad)
+		}
+	}
+	if !ValidKey(peerKey(0)) {
+		t.Error("ValidKey rejected a well-formed key")
+	}
+}
+
+func TestCacheReadRawServesDiskAndMemory(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(dir)
+	key := peerKey(1)
+	c.store(key, smallPayload(8))
+
+	raw, ok := c.ReadRaw(key)
+	if !ok {
+		t.Fatal("ReadRaw missed a stored entry")
+	}
+	disk, err := os.ReadFile(filepath.Join(dir, key+".gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(disk) {
+		t.Fatal("ReadRaw bytes differ from the on-disk entry")
+	}
+
+	// Memory-only caches encode on the fly; the bytes must decode back to
+	// the same payload.
+	m := NewCache("")
+	m.store(key, smallPayload(8))
+	raw2, ok := m.ReadRaw(key)
+	if !ok {
+		t.Fatal("ReadRaw missed a memory-only entry")
+	}
+	p := &cachePayload{}
+	if err := gob.NewDecoder(strings.NewReader(string(raw2))).Decode(p); err != nil {
+		t.Fatalf("memory-only ReadRaw bytes do not decode: %v", err)
+	}
+	if p.Cost != 8 || len(p.TileOf) != 8 {
+		t.Fatalf("round-tripped payload differs: %+v", p)
+	}
+	if _, ok := m.ReadRaw(peerKey(99)); ok {
+		t.Fatal("ReadRaw served an absent key")
+	}
+}
+
+// TestCachePeerFillServesFleet is the tentpole property: a cold replica
+// whose peer has the entry adopts it — memory, then disk — so the next
+// process over the same directory needs no peer at all.
+func TestCachePeerFillServesFleet(t *testing.T) {
+	owner := NewCache(t.TempDir())
+	key := peerKey(2)
+	owner.store(key, smallPayload(16))
+
+	coldDir := t.TempDir()
+	cold := NewCache(coldDir)
+	fetches := 0
+	cold.SetPeerFill(func(k string) ([]byte, error) {
+		fetches++
+		if raw, ok := owner.ReadRaw(k); ok {
+			return raw, nil
+		}
+		return nil, fmt.Errorf("peer: no entry for %s", k)
+	})
+
+	p, ok := cold.lookup(key)
+	if !ok {
+		t.Fatal("peer fill did not serve the miss")
+	}
+	if p.Cost != 16 || len(p.TileOf) != 16 {
+		t.Fatalf("peer-filled payload differs: %+v", p)
+	}
+	if fetches != 1 {
+		t.Fatalf("peer fetched %d times, want 1", fetches)
+	}
+	// Second lookup hits memory: no new fetch.
+	if _, ok := cold.lookup(key); !ok || fetches != 1 {
+		t.Fatalf("second lookup missed memory (fetches=%d)", fetches)
+	}
+	// The adopted entry reached disk: a fresh cache over the directory hits
+	// with no peer hook installed.
+	fresh := NewCache(coldDir)
+	if _, ok := fresh.lookup(key); !ok {
+		t.Fatal("adopted entry did not reach the cold replica's disk")
+	}
+}
+
+// TestCachePeerFillRejectsCorrupt pins the no-poisoning contract: a
+// truncated or garbage peer payload is a miss and must leave no trace in
+// the local store — not in memory, not on disk.
+func TestCachePeerFillRejectsCorrupt(t *testing.T) {
+	owner := NewCache(t.TempDir())
+	key := peerKey(3)
+	owner.store(key, smallPayload(16))
+	good, _ := owner.ReadRaw(key)
+
+	for name, raw := range map[string][]byte{
+		"garbage":   []byte("not a gob payload"),
+		"truncated": good[:1],
+		"half":      good[:len(good)/2],
+		"empty":     {},
+	} {
+		dir := t.TempDir()
+		c := NewCache(dir)
+		c.SetPeerFill(func(string) ([]byte, error) { return raw, nil })
+		if _, ok := c.lookup(key); ok && name != "half" {
+			// "half" may happen to decode (gob streams can be self-
+			// delimiting early); every other shape must miss.
+			t.Errorf("%s: corrupt peer payload served as a hit", name)
+		}
+		if name == "half" {
+			continue
+		}
+		files, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+		if err != nil || len(files) != 0 {
+			t.Errorf("%s: corrupt peer payload reached disk: %v (%v)", name, files, err)
+		}
+		if _, ok := c.mem[key]; ok {
+			t.Errorf("%s: corrupt peer payload reached memory", name)
+		}
+	}
+}
+
+// TestCachePeerFillErrorIsMiss: a failing peer (owner down) degrades to a
+// plain miss.
+func TestCachePeerFillErrorIsMiss(t *testing.T) {
+	c := NewCache(t.TempDir())
+	c.SetPeerFill(func(string) ([]byte, error) { return nil, fmt.Errorf("connection refused") })
+	if _, ok := c.lookup(peerKey(4)); ok {
+		t.Fatal("failing peer produced a hit")
+	}
+}
+
+// TestCachePeerFillRacesLocalWriter: a peer fill adopting an entry while a
+// local writer stores the same key must go through the same exclusive-
+// flock temp+rename protocol, so whatever wins, the slot holds one
+// complete, decodable entry.
+func TestCachePeerFillRacesLocalWriter(t *testing.T) {
+	owner := NewCache(t.TempDir())
+	key := peerKey(5)
+	owner.store(key, smallPayload(32))
+	raw, _ := owner.ReadRaw(key)
+
+	for round := 0; round < 8; round++ {
+		dir := t.TempDir()
+		writer := NewCache(dir)
+		filler := NewCache(dir)
+		filler.SetPeerFill(func(string) ([]byte, error) { return raw, nil })
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			writer.store(key, smallPayload(32))
+		}()
+		go func() {
+			defer wg.Done()
+			if _, ok := filler.lookup(key); !ok {
+				t.Error("peer-fill lookup missed")
+			}
+		}()
+		wg.Wait()
+
+		// The surviving disk entry decodes and matches the payload both
+		// sides wrote.
+		fresh := NewCache(dir)
+		p, ok := fresh.lookup(key)
+		if !ok {
+			t.Fatal("no decodable entry survived the race")
+		}
+		if p.Cost != 32 || len(p.TileOf) != 32 {
+			t.Fatalf("surviving entry differs: %+v", p)
+		}
+	}
+}
+
+// TestCachePeerFillAfterCorruptLocalEntry extends the self-healing test
+// fleet-ward: a torn local entry is deleted and the peer consulted, so the
+// slot heals from the fleet instead of a rebuild.
+func TestCachePeerFillAfterCorruptLocalEntry(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(dir)
+	key := peerKey(6)
+	c.store(key, smallPayload(16))
+	path := filepath.Join(dir, key+".gob")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, good[:1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	healer := NewCache(dir)
+	healer.SetPeerFill(func(string) ([]byte, error) { return good, nil })
+	p, ok := healer.lookup(key)
+	if !ok {
+		t.Fatal("peer did not heal the torn local entry")
+	}
+	if p.Cost != 16 {
+		t.Fatalf("healed payload differs: %+v", p)
+	}
+	// The corrupt file was replaced by the adopted bytes.
+	again, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(good) {
+		t.Fatal("healed disk entry differs from the peer's bytes")
+	}
+}

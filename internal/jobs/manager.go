@@ -33,6 +33,17 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// ParseState maps a query-parameter string onto a State ("" stays the
+// no-filter zero value); anything else is an admission error.
+func ParseState(s string) (State, error) {
+	switch st := State(s); st {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+		return st, nil
+	default:
+		return "", fmt.Errorf("jobs: unknown state %q (want queued, running, done, failed, or cancelled)", s)
+	}
+}
+
 // Event types.
 const (
 	EventState    = "state"
@@ -322,11 +333,20 @@ func (m *Manager) Get(id string) (View, bool) {
 
 // List returns every stored job (running, queued, and unevicted finished),
 // oldest first, without results.
-func (m *Manager) List() []View {
+func (m *Manager) List() []View { return m.ListState("") }
+
+// ListState returns the stored jobs in one lifecycle state (all states
+// when s is empty), oldest first, without results. Operators and load
+// generators polling a fleet use it to ask each replica only for, say,
+// its running jobs instead of paging full stores.
+func (m *Manager) ListState(s State) []View {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]View, 0, len(m.jobs))
 	for _, j := range m.jobs {
+		if s != "" && j.state != s {
+			continue
+		}
 		v := m.viewLocked(j)
 		v.Result = nil
 		out = append(out, v)

@@ -1,0 +1,142 @@
+package server
+
+// server_cluster_test.go covers the fleet-facing surface added for
+// multi-replica serving: the ?state= listing filter and the raw cache
+// entry endpoint peers use for HTTP cache fill.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"tafpga/internal/flow"
+	"tafpga/internal/jobs"
+	"tafpga/internal/obs"
+)
+
+func listJobs(t *testing.T, ts *httptest.Server, query string) (int, []jobs.View) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	var views []jobs.View
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, views
+}
+
+func TestListStateFilter(t *testing.T) {
+	release := make(chan struct{})
+	var runs atomic.Int64
+	_, _, ts := testServer(t, stubRun(&runs, release), jobs.Options{Workers: 1})
+
+	_, running := postJob(t, ts, `{"kind":"guardband","benchmark":"sha","ambient_c":25}`)
+	waitHTTPState(t, ts, running.ID, jobs.StateRunning)
+	_, queued := postJob(t, ts, `{"kind":"guardband","benchmark":"sha","ambient_c":30}`)
+
+	if code, views := listJobs(t, ts, "?state=running"); code != 200 || len(views) != 1 || views[0].ID != running.ID {
+		t.Fatalf("state=running → %d, %+v", code, views)
+	}
+	if code, views := listJobs(t, ts, "?state=queued"); code != 200 || len(views) != 1 || views[0].ID != queued.ID {
+		t.Fatalf("state=queued → %d, %+v", code, views)
+	}
+	if code, views := listJobs(t, ts, "?state=done"); code != 200 || len(views) != 0 {
+		t.Fatalf("state=done before completion → %d, %+v", code, views)
+	}
+	if code, views := listJobs(t, ts, ""); code != 200 || len(views) != 2 {
+		t.Fatalf("unfiltered list → %d, %+v", code, views)
+	}
+	if code, _ := listJobs(t, ts, "?state=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("state=bogus → %d, want 400", code)
+	}
+
+	close(release)
+	waitHTTPState(t, ts, running.ID, jobs.StateDone)
+	waitHTTPState(t, ts, queued.ID, jobs.StateDone)
+	if code, views := listJobs(t, ts, "?state=done"); code != 200 || len(views) != 2 {
+		t.Fatalf("state=done after completion → %d, %+v", code, views)
+	}
+}
+
+func TestCacheEndpointDisabledByDefault(t *testing.T) {
+	_, _, ts := testServer(t, stubRun(nil, nil), jobs.Options{})
+	resp, err := http.Get(ts.URL + "/v1/cache/" + strings.Repeat("a", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cache endpoint without ServeCache → %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCacheEndpointServesRawEntries(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	m := jobs.New(stubRun(nil, nil), jobs.Options{Registry: reg})
+	t.Cleanup(m.Close)
+	s := New(m, reg)
+	s.ServeCache(flow.NewCache(dir))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	key := fmt.Sprintf("%064x", 0xbeef)
+	payload := []byte("gob bytes served verbatim, never decoded by the server")
+	if err := os.WriteFile(filepath.Join(dir, key+".gob"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("present entry → %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	if string(body) != string(payload) {
+		t.Fatalf("served bytes differ from the on-disk entry")
+	}
+
+	// Absent entry: 404.
+	miss, err := http.Get(ts.URL + "/v1/cache/" + fmt.Sprintf("%064x", 0xdead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss.Body.Close()
+	if miss.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent entry → %d, want 404", miss.StatusCode)
+	}
+
+	// Malformed keys: rejected before any filesystem access, including
+	// traversal shapes.
+	for _, bad := range []string{
+		strings.Repeat("a", 63), strings.Repeat("A", 64), strings.Repeat("g", 64), "..%2F..%2Fetc%2Fpasswd",
+	} {
+		resp, err := http.Get(ts.URL + "/v1/cache/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("key %q → %d, want 400/404", bad, resp.StatusCode)
+		}
+	}
+}

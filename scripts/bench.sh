@@ -9,7 +9,10 @@
 #                              → BENCH_inner_loop.json
 #           "flow":            the implementation front-end (place, route,
 #                              full build, cached build) → BENCH_flow.json
-#           "all":             both suites in sequence, each to its default
+#           "serving":         1-replica vs 3-replica fleet throughput and
+#                              latency via scripts/bench_serving.sh
+#                              → BENCH_serving.json (count is ignored)
+#           "all":             every suite in sequence, each to its default
 #                              output file (OUT is ignored)
 #   count   benchmark repetitions (default 3)
 #
@@ -37,7 +40,14 @@ if [ "${1:-}" = "all" ]; then
 	# the second run clobber the first.
 	OUT="" "$0" inner "$@"
 	OUT="" "$0" flow "$@"
+	OUT="" "$0" serving
 	exit 0
+fi
+
+if [ "${1:-}" = "serving" ]; then
+	# The serving suite measures whole deployments, not kernels: it lives in
+	# its own harness.
+	exec sh scripts/bench_serving.sh
 fi
 
 SUITE="inner"

@@ -1,0 +1,254 @@
+#!/bin/sh
+# smoke_cluster.sh — end-to-end smoke test of multi-replica serving.
+#
+# Spins up three tafpgad replicas (each with its own journal state dir and
+# flow cache) behind a -route front-end, then exercises the fleet:
+#
+#   1. Routing: the same spec submitted twice through the router lands on
+#      the same HRW owner both times.
+#   2. Byte-identical physics + peer cache fill: the same spec computed
+#      directly on a *different* replica produces identical guardband
+#      physics, and that replica fills its flow cache from the owner over
+#      HTTP instead of rebuilding (peer-fill counters prove it).
+#   3. Fan-out listing with ?state= filtering through the router.
+#   4. Fleet-wide dedup: resubmitting a spec while its job runs coalesces
+#      onto the same job on the same replica.
+#   5. Chaos: SIGKILL the replica that owns a running job. Resubmitting
+#      through the router fails over to the next ranked replica and
+#      completes; restarting the killed replica recovers the orphaned job
+#      from its journal; both computations agree byte-for-byte.
+#
+# Environment:
+#   PORT_BASE=n  first port of the 4-port block (default 18090: router
+#                18090, replicas 18091-18093)
+#   SCALE=f      benchmark scale (default 1/64, the test harness scale)
+#   TIMEOUT=n    per-phase budget in seconds (default 300)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT_BASE="${PORT_BASE:-18090}"
+SCALE="${SCALE:-0.015625}"
+TIMEOUT="${TIMEOUT:-300}"
+HOST="127.0.0.1"
+ROUTER="http://$HOST:$PORT_BASE"
+R0="http://$HOST:$((PORT_BASE + 1))"
+R1="http://$HOST:$((PORT_BASE + 2))"
+R2="http://$HOST:$((PORT_BASE + 3))"
+RING="r0=$R0,r1=$R1,r2=$R2"
+WORK="$(mktemp -d)"
+BIN="$WORK/tafpgad"
+ROUTER_PID=""
+PID_r0="" PID_r1="" PID_r2=""
+
+fail() {
+	echo "smoke_cluster: FAIL: $*" >&2
+	for log in "$WORK"/*.log; do
+		echo "--- $log ---" >&2
+		tail -40 "$log" >&2 || true
+	done
+	exit 1
+}
+
+cleanup() {
+	for p in "$ROUTER_PID" "$PID_r0" "$PID_r1" "$PID_r2"; do
+		[ -n "$p" ] && kill "$p" 2>/dev/null || true
+	done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# url_of name — the base URL of a replica by name.
+url_of() {
+	case "$1" in
+	r0) echo "$R0" ;;
+	r1) echo "$R1" ;;
+	r2) echo "$R2" ;;
+	*) fail "unknown replica name $1" ;;
+	esac
+}
+
+# start_replica name url — launches one fleet member and records its pid.
+start_replica() {
+	port="${2##*:}"
+	"$BIN" -addr "$HOST:$port" -scale "$SCALE" -w 104 -effort 0.3 \
+		-replica "$1" -peers "$RING" \
+		-state-dir "$WORK/state-$1" -flowcache "$WORK/cache-$1" \
+		-drain 60s >>"$WORK/$1.log" 2>&1 &
+	eval "PID_$1=$!"
+}
+
+# wait_ready url what — polls /readyz.
+wait_ready() {
+	i=0
+	until curl -fsS "$1/readyz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -le "$TIMEOUT" ] || fail "$2 not ready after ${TIMEOUT}s"
+		sleep 1
+	done
+}
+
+# poll_done base id — polls a job until done, echoing the final view.
+poll_done() {
+	i=0
+	while :; do
+		VIEW="$(curl -fsS "$1/v1/jobs/$2")"
+		STATE_NOW="$(echo "$VIEW" | grep -o '"state":"[^"]*"' | head -1 | cut -d'"' -f4)"
+		case "$STATE_NOW" in
+		done)
+			echo "$VIEW"
+			return 0
+			;;
+		failed | cancelled) fail "job $2 ended $STATE_NOW: $VIEW" ;;
+		esac
+		i=$((i + 1))
+		[ "$i" -le "$TIMEOUT" ] || fail "job $2 still $STATE_NOW after ${TIMEOUT}s"
+		sleep 1
+	done
+}
+
+job_id() {
+	echo "$1" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4
+}
+
+result_of() {
+	echo "$1" | sed 's/.*"result"://'
+}
+
+# physics_of view — the result minus its Stats block (wall-clock timings
+# legitimately vary run to run; the physics must not).
+physics_of() {
+	result_of "$1" | sed 's/,"Stats":.*//'
+}
+
+echo "building tafpgad..." >&2
+go build -o "$BIN" ./cmd/tafpgad
+
+echo "starting 3 replicas + router on ports $PORT_BASE-$((PORT_BASE + 3))..." >&2
+start_replica r0 "$R0"
+start_replica r1 "$R1"
+start_replica r2 "$R2"
+"$BIN" -addr "$HOST:$PORT_BASE" -route -replica router -peers "$RING" \
+	>"$WORK/router.log" 2>&1 &
+ROUTER_PID=$!
+wait_ready "$R0" "replica r0"
+wait_ready "$R1" "replica r1"
+wait_ready "$R2" "replica r2"
+wait_ready "$ROUTER" "router"
+
+SPEC_A='{"kind":"guardband","benchmark":"sha","ambient_c":25}'
+SPEC_B='{"kind":"guardband","benchmark":"bgm","ambient_c":30}'
+
+# --- Phase 1: routing consistency ------------------------------------------
+echo "phase 1: double submit routes to the same HRW owner..." >&2
+HDR1="$WORK/hdr1"
+SUB1="$(curl -fsS -D "$HDR1" "$ROUTER/v1/jobs" -d "$SPEC_A")"
+ID_A="$(job_id "$SUB1")"
+OWNER_A="$(grep -i '^x-tafpga-replica:' "$HDR1" | tr -d '\r' | awk '{print $2}')"
+[ -n "$ID_A" ] || fail "no job id from routed submit: $SUB1"
+[ -n "$OWNER_A" ] || fail "routed submit carries no replica header"
+
+HDR2="$WORK/hdr2"
+SUB2="$(curl -fsS -D "$HDR2" "$ROUTER/v1/jobs" -d "$SPEC_A")"
+OWNER_A2="$(grep -i '^x-tafpga-replica:' "$HDR2" | tr -d '\r' | awk '{print $2}')"
+[ "$OWNER_A" = "$OWNER_A2" ] || fail "same spec routed to $OWNER_A then $OWNER_A2"
+
+VIEW_A="$(poll_done "$ROUTER" "$ID_A")"
+PHYS_A="$(physics_of "$VIEW_A")"
+echo "$PHYS_A" | grep -q '"' || fail "routed job has no result: $VIEW_A"
+echo "  owner $OWNER_A, job $ID_A done" >&2
+
+# --- Phase 2: byte-identical physics on another replica via peer fill ------
+echo "phase 2: same spec computed on a different replica..." >&2
+OTHER="r0"
+[ "$OWNER_A" = "r0" ] && OTHER="r1"
+OTHER_URL="$(url_of "$OTHER")"
+ID_O="$(job_id "$(curl -fsS "$OTHER_URL/v1/jobs" -d "$SPEC_A")")"
+VIEW_O="$(poll_done "$OTHER_URL" "$ID_O")"
+PHYS_O="$(physics_of "$VIEW_O")"
+[ "$PHYS_A" = "$PHYS_O" ] || fail "physics differ across replicas:
+$OWNER_A: $PHYS_A
+$OTHER: $PHYS_O"
+
+PEER_HITS="$(curl -fsS "$OTHER_URL/metrics" | grep '^tafpgad_cache_peer_hits_total' | awk '{print $2}')"
+[ "${PEER_HITS:-0}" -ge 1 ] || fail "replica $OTHER shows no peer cache hits (got '${PEER_HITS:-}')"
+SERVES="$(curl -fsS "$(url_of "$OWNER_A")/metrics" | grep '^tafpgad_cache_serves_total' | awk '{print $2}')"
+[ "${SERVES:-0}" -ge 1 ] || fail "owner $OWNER_A served no cache entries (got '${SERVES:-}')"
+echo "  identical physics; $OTHER filled $PEER_HITS flow-cache entr(ies) from the fleet" >&2
+
+# --- Phase 3: fan-out listing with ?state= ---------------------------------
+echo "phase 3: merged listing through the router..." >&2
+LIST="$(curl -fsS "$ROUTER/v1/jobs?state=done")"
+echo "$LIST" | grep -q '"replica":' || fail "merged listing has no replica attribution: $LIST"
+DONE_COUNT="$(echo "$LIST" | grep -o '"replica":' | wc -l | tr -d ' ')"
+[ "$DONE_COUNT" -ge 2 ] || fail "expected >=2 done jobs fleet-wide, saw $DONE_COUNT: $LIST"
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "$ROUTER/v1/jobs?state=bogus")"
+[ "$CODE" = "400" ] || fail "?state=bogus through the router returned $CODE, want 400"
+
+CLUSTER="$(curl -fsS "$ROUTER/v1/cluster")"
+READY_COUNT="$(echo "$CLUSTER" | grep -o '"ready":true' | wc -l | tr -d ' ')"
+[ "$READY_COUNT" = "3" ] || fail "cluster reports $READY_COUNT ready replicas, want 3: $CLUSTER"
+
+# --- Phase 4+5: fleet-wide dedup, then SIGKILL the owner of a running job --
+echo "phase 4: dedup against a running job, then chaos..." >&2
+HDR_B="$WORK/hdrb"
+SUB_B="$(curl -fsS -D "$HDR_B" "$ROUTER/v1/jobs" -d "$SPEC_B")"
+ID_B="$(job_id "$SUB_B")"
+OWNER_B="$(grep -i '^x-tafpga-replica:' "$HDR_B" | tr -d '\r' | awk '{print $2}')"
+[ -n "$OWNER_B" ] || fail "no owner header for the victim job"
+OWNER_B_URL="$(url_of "$OWNER_B")"
+
+i=0
+while :; do
+	STATE_B="$(curl -fsS "$OWNER_B_URL/v1/jobs/$ID_B" | grep -o '"state":"[^"]*"' | head -1 | cut -d'"' -f4)"
+	[ "$STATE_B" = "running" ] && break
+	[ "$STATE_B" = "done" ] && fail "victim job finished before it could be killed; raise the benchmark scale"
+	i=$((i + 1))
+	[ "$i" -le $((TIMEOUT * 5)) ] || fail "victim job never started running"
+	sleep 0.2
+done
+
+# While the job runs, an identical spec through the router must coalesce
+# onto it: same replica, same id, deduped:true. This is the fleet-wide
+# dedup property — rendezvous hashing sends equal specs to equal owners.
+HDR_D="$WORK/hdrd"
+SUB_D="$(curl -fsS -D "$HDR_D" "$ROUTER/v1/jobs" -d "$SPEC_B")"
+OWNER_D="$(grep -i '^x-tafpga-replica:' "$HDR_D" | tr -d '\r' | awk '{print $2}')"
+[ "$OWNER_D" = "$OWNER_B" ] || fail "duplicate spec routed to $OWNER_D, owner is $OWNER_B"
+echo "$SUB_D" | grep -q '"deduped":true' || fail "running duplicate did not coalesce: $SUB_D"
+[ "$(job_id "$SUB_D")" = "$ID_B" ] || fail "duplicate coalesced onto a different job: $SUB_D"
+
+eval "VICTIM_PID=\$PID_$OWNER_B"
+echo "  SIGKILL $OWNER_B (pid $VICTIM_PID) while $ID_B runs..." >&2
+kill -9 "$VICTIM_PID"
+wait "$VICTIM_PID" 2>/dev/null || true
+eval "PID_$OWNER_B="
+
+echo "  resubmitting through the router fails over..." >&2
+HDR_F="$WORK/hdrf"
+SUB_F="$(curl -fsS -D "$HDR_F" "$ROUTER/v1/jobs" -d "$SPEC_B")"
+ID_F="$(job_id "$SUB_F")"
+FAILOVER="$(grep -i '^x-tafpga-replica:' "$HDR_F" | tr -d '\r' | awk '{print $2}')"
+[ -n "$ID_F" ] || fail "failover submit rejected: $SUB_F"
+[ "$FAILOVER" != "$OWNER_B" ] || fail "failover submit still routed to the dead $OWNER_B"
+VIEW_F="$(poll_done "$(url_of "$FAILOVER")" "$ID_F")"
+PHYS_F="$(physics_of "$VIEW_F")"
+
+echo "  restarting $OWNER_B; journal recovery must finish the orphan..." >&2
+start_replica "$OWNER_B" "$OWNER_B_URL"
+wait_ready "$OWNER_B_URL" "restarted $OWNER_B"
+VIEW_R="$(poll_done "$OWNER_B_URL" "$ID_B")"
+echo "$VIEW_R" | grep -q '"recovered":true' || fail "recovered job not marked recovered: $VIEW_R"
+PHYS_R="$(physics_of "$VIEW_R")"
+[ "$PHYS_F" = "$PHYS_R" ] || fail "failover and recovered physics differ:
+failover ($FAILOVER): $PHYS_F
+recovered ($OWNER_B): $PHYS_R"
+
+FAILOVERS="$(curl -fsS "$ROUTER/metrics" | grep '^tafpgad_router_failovers_total' | awk '{print $2}')"
+[ "${FAILOVERS:-0}" -ge 1 ] || fail "router recorded no failovers (got '${FAILOVERS:-}')"
+curl -fsS "$ROUTER/metrics" | grep -q '^tafpgad_build_info{.*role="router"' ||
+	fail "router /metrics missing its build_info gauge"
+curl -fsS "$OTHER_URL/metrics" | grep -q '^tafpgad_build_info{.*role="replica"' ||
+	fail "replica /metrics missing its build_info gauge"
+
+echo "smoke_cluster: PASS" >&2
