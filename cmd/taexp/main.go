@@ -4,6 +4,10 @@
 //
 //	taexp [flags] [fig1 fig2 fig3 table1 table2 fig6 fig7 fig8 ablations scorecard]
 //
+// The additional "fig8sweep" experiment (not in the default set) extends
+// Fig. 8 along the 0–100 °C ambient axis per benchmark; with -sweep-batch
+// its ambient lanes run in lockstep through the batched guardband engine.
+//
 // Flags:
 //
 //	-scale f    benchmark scale relative to the published sizes (default 1/16)
@@ -12,6 +16,8 @@
 //	-bench csv  restrict Fig. 6/7/8 to a comma-separated benchmark list
 //	-csv dir    also write machine-readable CSVs into dir
 //	-parallel n benchmark fan-out workers (0 = GOMAXPROCS, 1 = serial)
+//	-sweep-batch n  lockstep lanes per batched guardband dispatch in sweep
+//	            experiments; per-lane results bit-identical (0/1 = serial)
 //	-timeout d  abort after this duration (0 = none); benchmark-suite
 //	            experiments still print and write the CSV rows that finished
 //	-flowcache d   cache place-and-route results in directory d so repeated
@@ -51,6 +57,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	parallel := flag.Int("parallel", 0, "benchmark fan-out workers (0 = GOMAXPROCS, 1 = serial)")
 	routeWorkers := flag.Int("route-workers", 0, "PathFinder search workers per flow build; byte-identical results (0 = GOMAXPROCS, 1 = serial)")
+	sweepBatch := flag.Int("sweep-batch", 0, "lockstep lanes per batched guardband dispatch in sweep experiments; bit-identical per lane (0/1 = serial)")
 	flowcache := flag.String("flowcache", "", "directory for the on-disk place-and-route cache (reused across runs)")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
@@ -108,6 +115,7 @@ func main() {
 	ctx.PlaceEffort = *effort
 	ctx.Workers = *parallel
 	ctx.RouteWorkers = *routeWorkers
+	ctx.SweepBatch = *sweepBatch
 	if *flowcache != "" {
 		ctx.FlowCache = flow.NewCache(*flowcache)
 	}
@@ -226,6 +234,29 @@ func run(ctx *experiments.Context, name, csvDir string) error {
 		return benchSuite(ctx.Fig7, "Fig. 7: guardbanding gain at Tamb=70C — paper average 14%", "fig7.csv", warnUnconverged, csvOut)
 	case "fig8":
 		return benchSuite(ctx.Fig8, "Fig. 8: 70C-optimized fabric vs typical at Tamb=70C (both guardbanded) — paper average 6.7%", "fig8.csv", warnUnconverged, csvOut)
+	case "fig8sweep":
+		// Fig. 8 along the ambient axis: each benchmark's D70-over-D25
+		// gain at every ambient, one table per benchmark.
+		ambients := make([]float64, 0, 11)
+		for t := 0.0; t <= 100; t += 10 {
+			ambients = append(ambients, t)
+		}
+		for _, b := range ctx.Suite() {
+			rs, err := ctx.Fig8Sweep(b, ambients)
+			if len(rs) > 0 {
+				fmt.Print(experiments.FormatBench(
+					fmt.Sprintf("Fig. 8 ambient sweep: %s (D70 fabric vs D25, both guardbanded)", b), rs))
+				warnUnconverged(rs)
+				if cerr := csvOut("fig8sweep_"+b+".csv", func(w io.Writer) error {
+					return experiments.WriteBenchCSV(w, rs)
+				}); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				return err
+			}
+		}
 	case "scorecard":
 		claims, err := ctx.Scorecard()
 		if err != nil {

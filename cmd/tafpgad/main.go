@@ -13,6 +13,8 @@
 //	-effort f      placement effort (default 1.0)
 //	-bench csv     restrict figure jobs to a comma-separated benchmark list
 //	-parallel n    per-job benchmark fan-out workers (0 = GOMAXPROCS)
+//	-sweep-batch n lockstep lanes per batched guardband dispatch in sweep
+//	               jobs; per-lane results bit-identical (0/1 = serial)
 //	-workers n     concurrent jobs (default 1)
 //	-queue n       queued-job bound before 429s (default 64)
 //	-ttl d         how long finished jobs stay retrievable (default 15m)
@@ -80,6 +82,7 @@ func main() {
 	benchCSV := flag.String("bench", "", "comma-separated benchmark subset for figure jobs")
 	parallel := flag.Int("parallel", 0, "per-job benchmark fan-out workers (0 = GOMAXPROCS)")
 	routeWorkers := flag.Int("route-workers", 0, "PathFinder search workers per flow build; byte-identical results (0 = GOMAXPROCS, 1 = serial)")
+	sweepBatch := flag.Int("sweep-batch", 0, "lockstep lanes per batched guardband dispatch in sweep jobs; bit-identical per lane (0/1 = serial)")
 	workers := flag.Int("workers", 1, "concurrent jobs")
 	queue := flag.Int("queue", 64, "queued-job bound")
 	ttl := flag.Duration("ttl", 15*time.Minute, "finished-job retention")
@@ -126,23 +129,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := obs.NewRegistry()
+	reg.GaugeL("tafpgad_build_info",
+		"Process identity; the value is always 1 — the information rides in the labels.",
+		fmt.Sprintf("replica=%q,addr=%q,role=%q,go=%q", *replica, *addr, "replica", runtime.Version())).Set(1)
+
 	cfg := jobs.RunnerConfig{
 		Scale:         *scale,
 		ChannelTracks: *width,
 		PlaceEffort:   *effort,
 		BenchWorkers:  *parallel,
 		RouteWorkers:  *routeWorkers,
+		SweepBatch:    *sweepBatch,
 		FlowCacheDir:  *flowcache,
+		Obs:           reg,
 	}
 	if *benchCSV != "" {
 		cfg.Benchmarks = strings.Split(*benchCSV, ",")
 	}
 	runner := jobs.NewRunner(cfg)
-
-	reg := obs.NewRegistry()
-	reg.GaugeL("tafpgad_build_info",
-		"Process identity; the value is always 1 — the information rides in the labels.",
-		fmt.Sprintf("replica=%q,addr=%q,role=%q,go=%q", *replica, *addr, "replica", runtime.Version())).Set(1)
 
 	// Fleet cache fill: a local flow-cache miss asks the key's HRW owner
 	// (then the rest of the ranking) for its raw gob entry before paying a

@@ -236,6 +236,62 @@ func BenchmarkGuardbandRunReference(b *testing.B) {
 	}
 }
 
+// sweepAmbients is the Fig. 6/7/8 temperature axis (0:100:10) both sweep
+// benchmarks traverse.
+func sweepAmbients() []float64 {
+	amb := make([]float64, 0, 11)
+	for t := 0.0; t <= 100; t += 10 {
+		amb = append(amb, t)
+	}
+	return amb
+}
+
+// BenchmarkGuardbandSweepSerial measures the serial ambient sweep: one
+// warm-started Algorithm-1 run per ambient, as GuardbandSweep executes it
+// without batching. The "before" half of the sweep-batching pair.
+func BenchmarkGuardbandSweepSerial(b *testing.B) {
+	im := innerLoopFixture(b)
+	ambients := sweepAmbients()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var seed []float64
+		for _, amb := range ambients {
+			opts := guardband.DefaultOptions(amb)
+			opts.ThermalSeed = seed
+			res, err := im.Guardband(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seed = res.SeedTemps
+		}
+	}
+}
+
+// BenchmarkGuardbandSweepBatch measures the same ambient axis through the
+// batched engine at full width (batch = len(ambients)): one shared baseline
+// probe, SoA STA traversals, multi-RHS thermal solves, lanes retiring as
+// they converge. Every per-ambient result is bit-identical to the serial
+// sweep's.
+func BenchmarkGuardbandSweepBatch(b *testing.B) {
+	im := innerLoopFixture(b)
+	ambients := sweepAmbients()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := im.GuardbandBatch(ambients, guardband.DefaultOptions(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var sum guardband.Stats
+			for _, r := range rs {
+				sum.Add(r.Stats)
+			}
+			b.ReportMetric(float64(sum.LockstepIters), "lockstep-rounds")
+			b.ReportMetric(float64(sum.RetiredEarly), "retired-early")
+		}
+	}
+}
+
 // TestInnerLoopBenchmarkAgreement guards the harness itself: the optimized
 // and reference guardband runs it compares must land on the same operating
 // point for the benchmark subject.

@@ -47,6 +47,19 @@ type Context struct {
 	// Benchmarks restricts the suite (nil = all 19).
 	Benchmarks []string
 
+	// SweepBatch sets how many ambient lanes GuardbandSweep (and the
+	// sweeping figure drivers) run in lockstep through guardband.RunBatch:
+	// <= 1 keeps the serial per-ambient engine. Every lane of a batch is
+	// bit-identical to the serial run at that ambient, so — like
+	// RouteWorkers — this is purely a wall-clock knob and never enters any
+	// cache key.
+	SweepBatch int
+
+	// OnBatch, when set, receives the lane count of every batched
+	// guardband dispatch the sweep drivers issue (observability for the
+	// serving layer's lane histogram).
+	OnBatch func(lanes int)
+
 	// Workers bounds the per-benchmark fan-out of the suite drivers
 	// (Figs. 6–8 and the ablations): 0 means runtime.GOMAXPROCS(0) and 1
 	// reproduces the serial engine. Every benchmark carries its own seed
@@ -143,6 +156,10 @@ func (c *Context) library() *thermarch.Library {
 func (c *Context) Device(cornerC float64) (*coffe.Device, error) {
 	return c.library().Device(cornerC)
 }
+
+// Suite returns the benchmark names the figure drivers will run, in Fig. 6
+// order (the Benchmarks restriction applied).
+func (c *Context) Suite() []string { return c.suite() }
 
 // suite returns the benchmark names in Fig. 6 order.
 func (c *Context) suite() []string {
@@ -426,18 +443,9 @@ func (c *Context) GuardbandSweep(name string, ambients []float64) ([]BenchResult
 	if err != nil {
 		return nil, err
 	}
-	var seed []float64
-	out := make([]BenchResult, 0, len(ambients))
-	for _, amb := range ambients {
-		opts := c.gbOptions(name, amb)
-		opts.ThermalSeed = seed
-		res, err := im.Guardband(opts)
-		if err != nil {
-			// Partial flush: completed ambients stay valid (each is an
-			// independent run; the seed is a pure accelerator).
-			return out, fmt.Errorf("experiments: %s at %g°C: %w", name, amb, err)
-		}
-		seed = res.SeedTemps
+	rs, err := c.sweepResults(im, name, ambients)
+	out := make([]BenchResult, 0, len(rs))
+	for _, res := range rs {
 		out = append(out, BenchResult{
 			Name: name, GainPct: res.GainPct,
 			FmaxMHz: res.FmaxMHz, BaselineMHz: res.BaselineMHz,
@@ -445,6 +453,46 @@ func (c *Context) GuardbandSweep(name string, ambients []float64) ([]BenchResult
 			Converged: res.Converged,
 			Stats:     res.Stats,
 		})
+	}
+	return out, err
+}
+
+// sweepResults runs one benchmark's ambient axis, serially or in lockstep
+// batches of SweepBatch lanes, handing the converged solver output of each
+// chunk to the next as a warm start. Results are per-ambient, in sweep
+// order; on error the completed prefix is returned alongside it.
+func (c *Context) sweepResults(im *flow.Implementation, name string, ambients []float64) ([]*guardband.Result, error) {
+	batch := c.SweepBatch
+	if batch <= 1 {
+		batch = 1
+	}
+	var seed []float64
+	out := make([]*guardband.Result, 0, len(ambients))
+	for lo := 0; lo < len(ambients); lo += batch {
+		chunk := ambients[lo:min(lo+batch, len(ambients))]
+		opts := c.gbOptions(name, chunk[0])
+		opts.ThermalSeed = seed
+		if batch == 1 {
+			res, err := im.Guardband(opts)
+			if err != nil {
+				// Partial flush: completed ambients stay valid (each is an
+				// independent run; the seed is a pure accelerator).
+				return out, fmt.Errorf("experiments: %s at %g°C: %w", name, chunk[0], err)
+			}
+			seed = res.SeedTemps
+			out = append(out, res)
+			continue
+		}
+		if cb := c.OnBatch; cb != nil {
+			cb(len(chunk))
+		}
+		rs, err := im.GuardbandBatch(chunk, opts)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s at %g..%g°C: %w",
+				name, chunk[0], chunk[len(chunk)-1], err)
+		}
+		seed = rs[len(rs)-1].SeedTemps
+		out = append(out, rs...)
 	}
 	return out, nil
 }
@@ -500,6 +548,53 @@ func (c *Context) Fig8() ([]BenchResult, error) {
 		return completed(out, done), err
 	}
 	return out, nil
+}
+
+// Fig8Sweep extends Fig. 8 along an ambient axis for one benchmark: both
+// the 25 °C-sized and 70 °C-sized fabrics are guardbanded at every ambient
+// (each axis batched per SweepBatch), and each row reports the D70 fabric's
+// gain over D25 at that ambient. One row per ambient, in sweep order; on
+// error the completed prefix is returned alongside it.
+func (c *Context) Fig8Sweep(name string, ambients []float64) ([]BenchResult, error) {
+	d70, err := c.Device(70)
+	if err != nil {
+		return nil, err
+	}
+	im25, err := c.Implementation(name)
+	if err != nil {
+		return nil, err
+	}
+	im70, err := im25.WithDevice(d70)
+	if err != nil {
+		return nil, err
+	}
+	rs25, err := c.sweepResults(im25, name, ambients)
+	if err == nil {
+		var rs70 []*guardband.Result
+		rs70, err = c.sweepResults(im70, name, ambients)
+		if len(rs70) < len(rs25) {
+			rs25 = rs25[:len(rs70)]
+		}
+		out := make([]BenchResult, 0, len(rs25))
+		for i, r25 := range rs25 {
+			r70 := rs70[i]
+			gain := 0.0
+			if r25.FmaxMHz > 0 {
+				gain = (r70.FmaxMHz/r25.FmaxMHz - 1) * 100
+			}
+			stats := r25.Stats
+			stats.Add(r70.Stats)
+			out = append(out, BenchResult{
+				Name: fmt.Sprintf("%s@%g", name, ambients[i]), GainPct: gain,
+				FmaxMHz: r70.FmaxMHz, BaselineMHz: r25.FmaxMHz,
+				Iterations: r70.Iterations, RiseC: r70.RiseC, SpreadC: r70.SpreadC,
+				Converged: r25.Converged && r70.Converged,
+				Stats:     stats,
+			})
+		}
+		return out, err
+	}
+	return nil, err
 }
 
 // FormatSeries renders plotted series as aligned columns. Empty input

@@ -188,6 +188,13 @@ func (im *Implementation) Guardband(opts guardband.Options) (*guardband.Result, 
 	return guardband.Run(im.Timing, im.Power, im.Thermal, opts)
 }
 
+// GuardbandBatch runs Algorithm 1 at every ambient in lockstep
+// (guardband.RunBatch): one batched STA traversal and one multi-RHS thermal
+// solve per round, lane l bit-identical to Guardband at ambients[l].
+func (im *Implementation) GuardbandBatch(ambients []float64, opts guardband.Options) ([]*guardband.Result, error) {
+	return guardband.RunBatch(im.Timing, im.Power, im.Thermal, ambients, opts)
+}
+
 // WithDevice re-targets the implementation onto another device of the same
 // architecture (a different thermal corner), reusing the placement and
 // routing: this is how the paper compares D25 vs D70 fabrics running the

@@ -68,6 +68,9 @@ type Options struct {
 type Progress struct {
 	// Iteration counts from 1.
 	Iteration int
+	// AmbientC is the ambient temperature of the run (the lane's ambient in
+	// a batched sweep, where iterations from several lanes interleave).
+	AmbientC float64
 	// FmaxMHz is the timing result at the iteration's input temperatures.
 	FmaxMHz float64
 	// MaxDeltaC is the infinity-norm change of the temperature map this
@@ -260,8 +263,8 @@ func runWithBaseline(an *sta.Analyzer, pm *power.Model, th *hotspot.Model, opts 
 		converged := maxDelta <= opts.DeltaTC
 		if opts.OnIteration != nil {
 			opts.OnIteration(Progress{
-				Iteration: iter, FmaxMHz: f, MaxDeltaC: maxDelta,
-				MaxC: hotspot.Max(next), Converged: converged,
+				Iteration: iter, AmbientC: opts.AmbientC, FmaxMHz: f,
+				MaxDeltaC: maxDelta, MaxC: hotspot.Max(next), Converged: converged,
 			})
 		}
 		if converged {

@@ -22,6 +22,14 @@ type Stats struct {
 	STANs     int64
 	PowerNs   int64
 	ThermalNs int64
+	// BatchLanes counts lanes executed by RunBatch (1 per batched lane, 0
+	// for serial runs); LockstepIters counts batch lockstep rounds (carried
+	// by one lane per batch so a summed batch counts each round once); and
+	// RetiredEarly counts lanes that converged before the batch's final
+	// round — the continuous-batching win.
+	BatchLanes    int
+	LockstepIters int
+	RetiredEarly  int
 }
 
 // Add accumulates another run's stats (used by RunAdaptive and the
@@ -34,12 +42,20 @@ func (s *Stats) Add(o Stats) {
 	s.STANs += o.STANs
 	s.PowerNs += o.PowerNs
 	s.ThermalNs += o.ThermalNs
+	s.BatchLanes += o.BatchLanes
+	s.LockstepIters += o.LockstepIters
+	s.RetiredEarly += o.RetiredEarly
 }
 
 // String renders a one-line kernel accounting.
 func (s Stats) String() string {
-	return fmt.Sprintf("sta %d probes %.2fms | power %.2fms | thermal %d solves (%d direct, %d GS sweeps) %.2fms",
+	line := fmt.Sprintf("sta %d probes %.2fms | power %.2fms | thermal %d solves (%d direct, %d GS sweeps) %.2fms",
 		s.STAProbes, float64(s.STANs)/1e6,
 		float64(s.PowerNs)/1e6,
 		s.ThermalSolves, s.ThermalDirect, s.ThermalSweeps, float64(s.ThermalNs)/1e6)
+	if s.BatchLanes > 0 {
+		line += fmt.Sprintf(" | batch %d lanes (%d lockstep rounds, %d retired early)",
+			s.BatchLanes, s.LockstepIters, s.RetiredEarly)
+	}
+	return line
 }

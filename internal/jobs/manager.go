@@ -69,8 +69,11 @@ type Event struct {
 	Attempt   int   `json:"attempt,omitempty"`
 	BackoffMs int64 `json:"backoff_ms,omitempty"`
 	// Progress fields (one Algorithm-1 iteration).
-	Benchmark string  `json:"benchmark,omitempty"`
-	Iteration int     `json:"iteration,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
+	Iteration int    `json:"iteration,omitempty"`
+	// AmbientC attributes the iteration to its ambient lane — in a batched
+	// sweep, iterations from several ambients interleave in one stream.
+	AmbientC  float64 `json:"ambient_c,omitempty"`
 	FmaxMHz   float64 `json:"fmax_mhz,omitempty"`
 	MaxDeltaC float64 `json:"max_delta_c,omitempty"`
 	MaxC      float64 `json:"max_c,omitempty"`

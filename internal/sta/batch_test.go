@@ -1,0 +1,84 @@
+package sta
+
+import "testing"
+
+// tempLane builds a deterministic, spatially varying temperature map — a
+// gradient plus a few hotspots — distinct per lane so the batch cannot pass
+// by accident of identical inputs.
+func tempLane(n, lane int) []float64 {
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = 25 + float64(lane)*12.5 + float64(i%17)*0.75
+	}
+	t[n/3] += 30
+	t[(2*n)/3] += 15 + float64(lane)
+	return t
+}
+
+// reportsIdentical holds two reports to bit-identity on every field,
+// including the Breakdown map.
+func reportsIdentical(t *testing.T, got, want Report) {
+	t.Helper()
+	if got.PeriodPs != want.PeriodPs || got.FmaxMHz != want.FmaxMHz {
+		t.Fatalf("period/fmax drift: got (%v, %v) want (%v, %v)",
+			got.PeriodPs, got.FmaxMHz, want.PeriodPs, want.FmaxMHz)
+	}
+	if got.CriticalEnd != want.CriticalEnd {
+		t.Fatalf("critical endpoint drift: got %d want %d", got.CriticalEnd, want.CriticalEnd)
+	}
+	if got.Sequential != want.Sequential {
+		t.Fatalf("sequential share drift: got %v want %v", got.Sequential, want.Sequential)
+	}
+	if len(got.Breakdown) != len(want.Breakdown) {
+		t.Fatalf("breakdown size drift: got %d want %d", len(got.Breakdown), len(want.Breakdown))
+	}
+	for k, v := range want.Breakdown {
+		if got.Breakdown[k] != v {
+			t.Fatalf("breakdown[%v] drift: got %v want %v", k, got.Breakdown[k], v)
+		}
+	}
+}
+
+// TestAnalyzeBatchMatchesAnalyze: every lane of every batch size must be
+// bit-identical (==) to the serial Analyze at that lane's temperatures —
+// the contract the batched guardband engine builds on.
+func TestAnalyzeBatchMatchesAnalyze(t *testing.T) {
+	an := analyzer(t)
+	n := an.PL.Grid.NumTiles()
+	const full = 8
+	lanes := make([][]float64, full)
+	serial := make([]Report, full)
+	for l := range lanes {
+		lanes[l] = tempLane(n, l)
+		serial[l] = an.Analyze(lanes[l])
+	}
+	for _, b := range []int{1, 2, 4, full} {
+		reports := an.AnalyzeBatch(lanes[:b])
+		if len(reports) != b {
+			t.Fatalf("batch %d: got %d reports", b, len(reports))
+		}
+		for l := 0; l < b; l++ {
+			reportsIdentical(t, reports[l], serial[l])
+		}
+	}
+}
+
+// TestAnalyzeBatchEmpty: a zero-lane batch is a no-op.
+func TestAnalyzeBatchEmpty(t *testing.T) {
+	an := analyzer(t)
+	if got := an.AnalyzeBatch(nil); got != nil {
+		t.Fatalf("empty batch: got %v want nil", got)
+	}
+}
+
+// TestAnalyzeBatchLeavesSerialPathClean: interleaving a batch between two
+// serial probes must not perturb the serial result (the batch de-interleaves
+// into the shared scratch pool, so a stale entry would show up here).
+func TestAnalyzeBatchLeavesSerialPathClean(t *testing.T) {
+	an := analyzer(t)
+	n := an.PL.Grid.NumTiles()
+	temps := tempLane(n, 3)
+	before := an.Analyze(temps)
+	an.AnalyzeBatch([][]float64{tempLane(n, 0), tempLane(n, 5)})
+	reportsIdentical(t, an.Analyze(temps), before)
+}

@@ -1,11 +1,14 @@
 #!/bin/sh
 # smoke_daemon.sh — end-to-end smoke test of the tafpgad serving daemon.
 #
-# Starts tafpgad at a small benchmark scale, waits for /readyz, submits the
-# same guardband job twice (the second must coalesce onto the first), polls
-# the job to completion, checks the NDJSON event stream ends on the terminal
-# state, scrapes /metrics for the dedup counters, and finally SIGTERMs the
-# daemon and asserts a graceful zero-status exit.
+# Starts tafpgad (with batched sweeps enabled) at a small benchmark scale,
+# waits for /readyz, submits the same guardband job twice (the second must
+# coalesce onto the first), polls the job to completion, checks the NDJSON
+# event stream ends on the terminal state, then submits a multi-ambient
+# sweep job and asserts its progress events carry per-lane ambient
+# attribution ("ambient_c"), scrapes /metrics for the dedup counters and the
+# sweep-lane histogram, and finally SIGTERMs the daemon and asserts a
+# graceful zero-status exit.
 #
 # Environment:
 #   ADDR=host:port  listen address (default 127.0.0.1:18080)
@@ -33,7 +36,7 @@ echo "building tafpgad..." >&2
 go build -o "$BIN" ./cmd/tafpgad
 
 "$BIN" -addr "$ADDR" -scale "$SCALE" -w 104 -effort 0.3 -bench sha \
-	-drain 60s >"$LOG" 2>&1 &
+	-sweep-batch 4 -drain 60s >"$LOG" 2>&1 &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
 
@@ -82,13 +85,48 @@ echo "$EVENTS" | head -1 | grep -q '"state":"queued"' || fail "stream must start
 echo "$EVENTS" | tail -1 | grep -q '"state":"done"' || fail "stream must end done: $EVENTS"
 echo "$EVENTS" | grep -q '"type":"progress"' || fail "stream has no Algorithm-1 progress events: $EVENTS"
 
+# A three-ambient sweep at -sweep-batch 4 dispatches all its lanes in one
+# lockstep batch; each lane's progress events must name its ambient so an
+# interleaved stream stays attributable.
+SWEEP_SPEC='{"kind":"sweep","benchmark":"bgm","ambients":[25,45,70]}'
+echo "submitting a batched sweep job..." >&2
+R3="$(curl -fsS "$BASE/v1/jobs" -d "$SWEEP_SPEC")"
+ID3="$(echo "$R3" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)"
+[ -n "$ID3" ] || fail "no job id in sweep response: $R3"
+
+echo "polling $ID3 to completion..." >&2
+i=0
+while :; do
+	VIEW="$(curl -fsS "$BASE/v1/jobs/$ID3")"
+	STATE="$(echo "$VIEW" | grep -o '"state":"[^"]*"' | head -1 | cut -d'"' -f4)"
+	case "$STATE" in
+	done) break ;;
+	failed | cancelled) fail "sweep job ended $STATE: $VIEW" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -le "$TIMEOUT" ] || fail "sweep job still $STATE after ${TIMEOUT}s"
+	sleep 1
+done
+
+echo "checking per-lane ambient attribution in the sweep stream..." >&2
+SWEEP_EVENTS="$(curl -fsS "$BASE/v1/jobs/$ID3/events")"
+echo "$SWEEP_EVENTS" | tail -1 | grep -q '"state":"done"' || fail "sweep stream must end done: $SWEEP_EVENTS"
+for amb in 25 45 70; do
+	echo "$SWEEP_EVENTS" | grep -q "\"ambient_c\":$amb" ||
+		fail "sweep stream has no progress event attributed to ${amb}°C: $SWEEP_EVENTS"
+done
+
 echo "scraping /metrics..." >&2
 METRICS="$(curl -fsS "$BASE/metrics")"
+# Two batched dispatches: the deduped guardband pair (one single-lane batch)
+# and the sweep job (one three-lane batch) — count 2, lane sum 4.
 for want in \
-	"tafpgad_jobs_submitted_total 2" \
+	"tafpgad_jobs_submitted_total 3" \
 	"tafpgad_jobs_deduped_total 1" \
-	"tafpgad_jobs_completed_total 1" \
-	"tafpgad_job_duration_seconds_count 1"; do
+	"tafpgad_jobs_completed_total 2" \
+	"tafpgad_job_duration_seconds_count 2" \
+	"tafpgad_sweep_lanes_count 2" \
+	"tafpgad_sweep_lanes_sum 4"; do
 	echo "$METRICS" | grep -qF "$want" || fail "/metrics missing '$want':
 $METRICS"
 done
