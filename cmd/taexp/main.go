@@ -7,6 +7,10 @@
 // The additional "fig8sweep" experiment (not in the default set) extends
 // Fig. 8 along the 0–100 °C ambient axis per benchmark; with -sweep-batch
 // its ambient lanes run in lockstep through the batched guardband engine.
+// The additional "thermalcompare" experiment (also not in the default set)
+// takes every benchmark through the full Algorithm-1 guardband twice —
+// thermally-oblivious vs thermal-aware placement under -thermal-weight /
+// -thermal-radius — and reports the ΔT_peak / Δf_guardband table.
 //
 // Flags:
 //
@@ -59,6 +63,9 @@ func main() {
 	routeWorkers := flag.Int("route-workers", 0, "PathFinder search workers per flow build; byte-identical results (0 = GOMAXPROCS, 1 = serial)")
 	sweepBatch := flag.Int("sweep-batch", 0, "lockstep lanes per batched guardband dispatch in sweep experiments; bit-identical per lane (0/1 = serial)")
 	flowcache := flag.String("flowcache", "", "directory for the on-disk place-and-route cache (reused across runs)")
+	thermalWeight := flag.Float64("thermal-weight", 0.25, "thermal objective weight for the thermalcompare experiment")
+	thermalRadius := flag.Int("thermal-radius", 0, "thermal kernel truncation radius in tiles (0 = default)")
+	thermalAmbient := flag.Float64("thermal-ambient", 25, "guardbanding ambient °C for the thermalcompare experiment")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
@@ -138,9 +145,10 @@ func main() {
 	if len(wanted) == 0 {
 		wanted = []string{"fig1", "fig2", "fig3", "table1", "table2", "fig6", "fig7", "fig8", "ablations", "scorecard"}
 	}
+	tp := flow.ThermalPlace{Weight: *thermalWeight, KernelRadius: *thermalRadius}
 	for _, name := range wanted {
 		start := time.Now()
-		if err := run(ctx, name, *csvDir); err != nil {
+		if err := run(ctx, name, *csvDir, tp, *thermalAmbient); err != nil {
 			fmt.Fprintf(os.Stderr, "taexp: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -161,7 +169,7 @@ func main() {
 	}
 }
 
-func run(ctx *experiments.Context, name, csvDir string) error {
+func run(ctx *experiments.Context, name, csvDir string, tp flow.ThermalPlace, thermalAmbient float64) error {
 	warnUnconverged := func(rs []experiments.BenchResult) {
 		if un := experiments.Unconverged(rs); len(un) > 0 {
 			fmt.Fprintf(os.Stderr, "taexp: warning: %s: Algorithm 1 exhausted its iteration budget on: %s\n",
@@ -257,6 +265,22 @@ func run(ctx *experiments.Context, name, csvDir string) error {
 				return err
 			}
 		}
+	case "thermalcompare":
+		rs, err := ctx.ThermalPlaceCompare(thermalAmbient, tp)
+		if len(rs) == 0 {
+			return err
+		}
+		title := fmt.Sprintf("Thermal-aware placement vs baseline at Tamb=%.0fC (weight %g)", thermalAmbient, tp.Weight)
+		if err != nil {
+			title += fmt.Sprintf(" [PARTIAL: %d benchmark(s) finished]", len(rs))
+		}
+		fmt.Print(experiments.FormatThermalCompare(title, rs))
+		if cerr := csvOut("thermalcompare.csv", func(w io.Writer) error {
+			return experiments.WriteThermalCompareCSV(w, rs)
+		}); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
 	case "scorecard":
 		claims, err := ctx.Scorecard()
 		if err != nil {

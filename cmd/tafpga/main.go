@@ -29,9 +29,16 @@
 //	              per-lane results are bit-identical to the serial sweep
 //	-timeout d    abort after this duration (0 = none); a sweep still prints
 //	              the rows that finished
+//	-thermal-weight f  weight of the thermal term in the placement objective
+//	              (0 = off, today's thermally-oblivious placer); with a
+//	              positive weight the annealer trades wirelength for a
+//	              flatter on-die temperature profile
+//	-thermal-radius n  thermal influence kernel truncation radius in tiles
+//	              (0 = the estimator default)
 //	-flowcache d  cache place-and-route results in directory d, keyed by
-//	              netlist/arch/seed/effort/router content, so repeated
-//	              invocations skip the implementation front-end
+//	              netlist/arch/seed/effort/router content (and the thermal
+//	              placement knobs when enabled), so repeated invocations
+//	              skip the implementation front-end
 //	-cpuprofile f write a CPU profile of the run to f (go tool pprof)
 //	-memprofile f write a heap profile at exit to f
 package main
@@ -73,6 +80,8 @@ func main() {
 	vdd := flag.Float64("vdd", 0, "core supply override in volts (0 = Table I's 0.8 V)")
 	paths := flag.Int("paths", 0, "report the N worst timing endpoints")
 	powerRep := flag.Bool("power", false, "report the power breakdown at the converged operating point")
+	thermalWeight := flag.Float64("thermal-weight", 0, "thermal placement objective weight (0 = off)")
+	thermalRadius := flag.Int("thermal-radius", 0, "thermal kernel truncation radius in tiles (0 = default)")
 	sweep := flag.String("sweep", "", `ambient sweep: "lo:hi:step" or comma list of °C`)
 	flowcache := flag.String("flowcache", "", "directory for the on-disk place-and-route cache (reused across runs)")
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
@@ -175,6 +184,7 @@ func main() {
 	opts.ChannelTracks = *width
 	opts.Router.Workers = *routeWorkers
 	opts.PlaceEffort = *effort
+	opts.ThermalPlace = flow.ThermalPlace{Weight: *thermalWeight, KernelRadius: *thermalRadius}
 	if *seed != 0 {
 		opts.Seed = *seed
 	} else {

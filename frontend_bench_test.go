@@ -21,10 +21,12 @@ import (
 	"tafpga/internal/bench"
 	"tafpga/internal/coffe"
 	"tafpga/internal/flow"
+	"tafpga/internal/hotspot"
 	"tafpga/internal/netlist"
 	"tafpga/internal/pack"
 	"tafpga/internal/place"
 	"tafpga/internal/route"
+	"tafpga/internal/thermalest"
 )
 
 type frontendFixture struct {
@@ -177,6 +179,86 @@ func BenchmarkFlowBuildReference(b *testing.B) {
 	f := frontendSetup(b)
 	opts := f.opts
 	opts.Reference = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.Implement(f.nl, f.dev, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// thermalEstimateSetup builds the thermal estimator over the mcml grid:
+// the hotspot model, the truncated kernel, per-tile powers shaped like a
+// placement deposition, and a pseudo-random move schedule — shared by the
+// MoveDelta/FullSolve pair so both price the same moves on the same grid.
+func thermalEstimateSetup(b *testing.B) (*hotspot.Model, *thermalest.Estimate, []float64, [][2]int) {
+	b.Helper()
+	f := frontendSetup(b)
+	m, err := hotspot.NewModel(f.grid.W, f.grid.H, 5e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := thermalest.KernelFor(m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := f.grid.NumTiles()
+	pow := make([]float64, n)
+	for i := range pow {
+		pow[i] = 600 + float64((i*2654435761)%4096)
+	}
+	est, err := thermalest.New(k, pow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	moves := make([][2]int, 1024)
+	for i := range moves {
+		moves[i] = [2]int{(i * 40503) % n, (i*9973 + 17) % n}
+	}
+	return m, est, pow, moves
+}
+
+// BenchmarkThermalPlaceMoveDelta measures pricing one placement move with
+// the truncated-kernel estimator — the annealer-inner-loop cost the
+// thermal term adds. Allocation-free by contract (pinned in thermalest's
+// tests); the before/after pair against BenchmarkThermalPlaceFullSolve
+// quantifies what the kernel truncation buys over a full thermal solve
+// per move.
+func BenchmarkThermalPlaceMoveDelta(b *testing.B) {
+	_, est, _, moves := thermalEstimateSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mv := moves[i%len(moves)]
+		est.MoveDelta(500, mv[0], mv[1])
+	}
+}
+
+// BenchmarkThermalPlaceFullSolve measures the alternative the estimator
+// replaces: one exact hotspot solve of the whole die per priced move.
+func BenchmarkThermalPlaceFullSolve(b *testing.B) {
+	m, _, pow, moves := thermalEstimateSetup(b)
+	scratch := append([]float64(nil), pow...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mv := moves[i%len(moves)]
+		scratch[mv[0]] -= 500
+		scratch[mv[1]] += 500
+		if _, err := m.Solve(scratch, 25); err != nil {
+			b.Fatal(err)
+		}
+		scratch[mv[0]] += 500
+		scratch[mv[1]] -= 500
+	}
+}
+
+// BenchmarkFlowBuildThermal measures the complete cold-cache build with
+// thermal-aware placement enabled — the kernel build, the per-move pricing,
+// and the periodic renormalization all included, against BenchmarkFlowBuild
+// as the thermally-oblivious baseline.
+func BenchmarkFlowBuildThermal(b *testing.B) {
+	f := frontendSetup(b)
+	opts := f.opts
+	opts.ThermalPlace = flow.ThermalPlace{Weight: 0.5}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := flow.Implement(f.nl, f.dev, opts); err != nil {

@@ -69,6 +69,41 @@ func WriteBenchCSV(w io.Writer, rs []BenchResult) error {
 	return cw.Error()
 }
 
+// WriteThermalCompareCSV exports the thermal-aware placement comparison.
+func WriteThermalCompareCSV(w io.Writer, rs []ThermalCompareResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "baseline_peak_c", "thermal_peak_c", "delta_peak_c",
+		"baseline_mhz", "thermal_mhz", "delta_fmax_pct", "converged"}); err != nil {
+		return err
+	}
+	var dT, dF float64
+	for _, r := range rs {
+		dT += r.DeltaPeakC
+		dF += r.DeltaFmaxPct
+		if err := cw.Write([]string{
+			r.Name,
+			fmt.Sprintf("%.3f", r.BaselinePeakC),
+			fmt.Sprintf("%.3f", r.ThermalPeakC),
+			fmt.Sprintf("%.3f", r.DeltaPeakC),
+			fmt.Sprintf("%.2f", r.BaselineMHz),
+			fmt.Sprintf("%.2f", r.ThermalMHz),
+			fmt.Sprintf("%.2f", r.DeltaFmaxPct),
+			fmt.Sprintf("%t", r.Converged),
+		}); err != nil {
+			return err
+		}
+	}
+	if n := len(rs); n > 0 {
+		if err := cw.Write([]string{"average", "", "",
+			fmt.Sprintf("%.3f", dT/float64(n)), "", "",
+			fmt.Sprintf("%.2f", dF/float64(n)), ""}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteFig2CSV exports the Fig. 2 chunk table.
 func WriteFig2CSV(w io.Writer, rows []Fig2Row) error {
 	cw := csv.NewWriter(w)

@@ -21,6 +21,7 @@ import (
 	"tafpga/internal/guardband"
 	"tafpga/internal/route"
 	"tafpga/internal/techmodel"
+	"tafpga/internal/thermalest"
 	"tafpga/internal/thermarch"
 )
 
@@ -173,27 +174,79 @@ func (c *Context) suite() []string {
 	return names
 }
 
-// Implementation packs/places/routes one benchmark on the D25 device,
-// caching the result (the physical implementation is device-independent
-// within one architecture, so Fig. 6/7/8 share it).
-func (c *Context) Implementation(name string) (*flow.Implementation, error) {
+// implVariant is the shared singleflight slot lookup: every distinct
+// spec variant of a benchmark build — the baseline implementation, a
+// thermal-place variant, a corner re-target — owns one key, so no driver
+// combination (Fig. 6/7/8, sweeps, the thermal-place comparison) ever
+// pays the same build twice on one context, flow cache or not.
+func (c *Context) implVariant(key string, build func() (*flow.Implementation, error)) (*flow.Implementation, error) {
 	c.mu.Lock()
 	if c.impls == nil {
 		c.impls = map[string]*implEntry{}
 	}
-	e, ok := c.impls[name]
+	e, ok := c.impls[key]
 	if !ok {
 		e = &implEntry{}
-		c.impls[name] = e
+		c.impls[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.im, e.err = c.implement(name) })
+	e.once.Do(func() { e.im, e.err = build() })
 	return e.im, e.err
+}
+
+// Implementation packs/places/routes one benchmark on the D25 device,
+// caching the result (the physical implementation is device-independent
+// within one architecture, so Fig. 6/7/8 share it).
+func (c *Context) Implementation(name string) (*flow.Implementation, error) {
+	return c.implVariant(name, func() (*flow.Implementation, error) {
+		return c.implement(name, flow.ThermalPlace{})
+	})
+}
+
+// ThermalImplementation is Implementation with thermal-aware placement:
+// the same benchmark under a non-zero thermal spec is a distinct
+// result-determining variant, cached under its own singleflight key (the
+// same weight/radius composition rule as the flow-cache content key). A
+// zero spec is exactly the baseline and shares its slot.
+func (c *Context) ThermalImplementation(name string, tp flow.ThermalPlace) (*flow.Implementation, error) {
+	if tp.Weight <= 0 {
+		return c.Implementation(name)
+	}
+	r := tp.KernelRadius
+	if r <= 0 {
+		r = thermalest.DefaultRadius
+	}
+	key := fmt.Sprintf("%s|thermal:w=%g,r=%d", name, tp.Weight, r)
+	return c.implVariant(key, func() (*flow.Implementation, error) {
+		return c.implement(name, tp)
+	})
+}
+
+// implementationAt returns the benchmark's baseline implementation
+// re-targeted to another thermal corner, cached per (benchmark, corner):
+// Fig8 and Fig8Sweep share one STA/power/thermal re-assembly instead of
+// rebuilding it per driver call.
+func (c *Context) implementationAt(name string, cornerC float64) (*flow.Implementation, error) {
+	if cornerC == 25 {
+		return c.Implementation(name)
+	}
+	key := fmt.Sprintf("%s@%g", name, cornerC)
+	return c.implVariant(key, func() (*flow.Implementation, error) {
+		im, err := c.Implementation(name)
+		if err != nil {
+			return nil, err
+		}
+		dev, err := c.Device(cornerC)
+		if err != nil {
+			return nil, err
+		}
+		return im.WithDevice(dev)
+	})
 }
 
 // implement runs the CAD flow for one benchmark (the cache-miss path of
 // Implementation).
-func (c *Context) implement(name string) (*flow.Implementation, error) {
+func (c *Context) implement(name string, tp flow.ThermalPlace) (*flow.Implementation, error) {
 	dev, err := c.Device(25)
 	if err != nil {
 		return nil, err
@@ -215,6 +268,7 @@ func (c *Context) implement(name string) (*flow.Implementation, error) {
 	opts.Router.Workers = c.RouteWorkers
 	opts.Cache = c.FlowCache
 	opts.Ctx = c.Ctx
+	opts.ThermalPlace = tp
 	im, err := flow.Implement(nl, dev, opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", name, err)
@@ -509,16 +563,12 @@ func (c *Context) Fig7() ([]BenchResult, error) { return c.guardbandSuite(70) }
 // guardbanding)" — the 70 °C-sized fabric vs the typical 25 °C fabric,
 // paper average: 6.7 %.
 func (c *Context) Fig8() ([]BenchResult, error) {
-	d70, err := c.Device(70)
-	if err != nil {
-		return nil, err
-	}
 	out, done, err := forEachBench(c, c.suite(), func(name string) (BenchResult, error) {
 		im25, err := c.Implementation(name)
 		if err != nil {
 			return BenchResult{}, err
 		}
-		im70, err := im25.WithDevice(d70)
+		im70, err := c.implementationAt(name, 70)
 		if err != nil {
 			return BenchResult{}, err
 		}
@@ -556,15 +606,11 @@ func (c *Context) Fig8() ([]BenchResult, error) {
 // gain over D25 at that ambient. One row per ambient, in sweep order; on
 // error the completed prefix is returned alongside it.
 func (c *Context) Fig8Sweep(name string, ambients []float64) ([]BenchResult, error) {
-	d70, err := c.Device(70)
-	if err != nil {
-		return nil, err
-	}
 	im25, err := c.Implementation(name)
 	if err != nil {
 		return nil, err
 	}
-	im70, err := im25.WithDevice(d70)
+	im70, err := c.implementationAt(name, 70)
 	if err != nil {
 		return nil, err
 	}

@@ -102,6 +102,16 @@ func cacheKey(nl *netlist.Netlist, params coffe.Params, opts Options) (string, e
 	}
 	fmt.Fprintf(h, "|arch:%+v|seed:%d|effort:%g|router:%+v",
 		params, opts.Seed, opts.PlaceEffort, sched)
+	// Thermal-aware placement changes the produced bytes, so its knobs are
+	// result-determining and must split the key — but only when enabled:
+	// the weight-0 flow is byte-identical to the historical one, and its
+	// key must stay byte-identical too so existing disk entries survive.
+	// The radius is keyed at its resolved value, so 0 and DefaultRadius
+	// share the entry they share the bytes of.
+	if opts.ThermalPlace.enabled() {
+		fmt.Fprintf(h, "|thermal:w=%g,r=%d",
+			opts.ThermalPlace.Weight, opts.ThermalPlace.effectiveRadius())
+	}
 	return fmt.Sprintf("%x", h.Sum(nil)), nil
 }
 

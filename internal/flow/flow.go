@@ -21,6 +21,7 @@ import (
 	"tafpga/internal/power"
 	"tafpga/internal/route"
 	"tafpga/internal/sta"
+	"tafpga/internal/thermalest"
 )
 
 // Options tunes the implementation flow.
@@ -55,6 +56,33 @@ type Options struct {
 	// cancels. Cancellation cannot leave a partially built Implementation:
 	// Implement returns the wrapped context error instead.
 	Ctx context.Context
+	// ThermalPlace configures thermal-aware placement. Unlike the
+	// wall-clock knobs (Router.Workers, sweep batching) these values change
+	// the produced bytes, so they are part of the flow-cache content key.
+	ThermalPlace ThermalPlace
+}
+
+// ThermalPlace configures the thermal term of the placement cost
+// (DESIGN.md §16).
+type ThermalPlace struct {
+	// Weight scales the thermal objective relative to wirelength; 0 (the
+	// default) reproduces the thermally-oblivious flow byte for byte.
+	Weight float64
+	// KernelRadius truncates the influence kernel; <= 0 selects
+	// thermalest.DefaultRadius.
+	KernelRadius int
+}
+
+// enabled reports whether the thermal term participates in placement.
+func (t ThermalPlace) enabled() bool { return t.Weight > 0 }
+
+// effectiveRadius resolves the radius default, so the flow-cache key and
+// the kernel builder agree on what radius 0 means.
+func (t ThermalPlace) effectiveRadius() int {
+	if t.KernelRadius > 0 {
+		return t.KernelRadius
+	}
+	return thermalest.DefaultRadius
 }
 
 // checkCtx reports the options' context error, if any, wrapped for the
@@ -128,6 +156,14 @@ func Implement(nl *netlist.Netlist, dev *coffe.Device, opts Options) (*Implement
 	placeFn, routeFn := place.Place, route.Route
 	if opts.Reference {
 		placeFn, routeFn = place.PlaceReference, route.RouteReference
+	} else if opts.ThermalPlace.enabled() {
+		tc, err := thermalCost(nl, dev, grid, act, opts.ThermalPlace)
+		if err != nil {
+			return nil, fmt.Errorf("flow: thermal place: %w", err)
+		}
+		placeFn = func(p *pack.Result, g *arch.Grid, seed int64, effort float64) (*place.Placement, error) {
+			return place.PlaceThermal(p, g, seed, effort, tc)
+		}
 	}
 	if err := opts.checkCtx("place"); err != nil {
 		return nil, err
@@ -159,6 +195,32 @@ func Implement(nl *netlist.Netlist, dev *coffe.Device, opts Options) (*Implement
 	}
 
 	return assemble(nl, dev, grid, packed, placed, routed, act)
+}
+
+// thermalCost prepares thermal-aware placement inputs. The annealer needs
+// the influence kernel *before* any placement exists; the base (leakage-
+// only) power the thermal model calibrates against is a function of the
+// grid alone, so the model built here matches assemble's exactly and the
+// kernel cache is shared with every later estimator use.
+func thermalCost(nl *netlist.Netlist, dev *coffe.Device, grid *arch.Grid,
+	act []activity.Stats, tp ThermalPlace) (place.ThermalCost, error) {
+	base := 0.0
+	for idx := 0; idx < grid.NumTiles(); idx++ {
+		base += dev.TileLeak(grid.ClassAt(idx), 25)
+	}
+	th, err := hotspot.NewModel(grid.W, grid.H, base)
+	if err != nil {
+		return place.ThermalCost{}, err
+	}
+	k, err := thermalest.KernelFor(th, tp.effectiveRadius())
+	if err != nil {
+		return place.ThermalCost{}, err
+	}
+	return place.ThermalCost{
+		Weight:       tp.Weight,
+		Kernel:       k,
+		BlockPowerUW: thermalest.BlockPowerUW(dev, nl, act),
+	}, nil
 }
 
 // assemble builds the downstream analysis models over a placement and

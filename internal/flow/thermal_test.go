@@ -1,0 +1,137 @@
+package flow
+
+import (
+	"bytes"
+	"testing"
+
+	"tafpga/internal/bench"
+	"tafpga/internal/coffe"
+	"tafpga/internal/guardband"
+	"tafpga/internal/thermalest"
+)
+
+// TestCacheKeyThermalPlace pins the thermal knobs' cache-key rules: a
+// disabled thermal term must not touch the key at all (existing on-disk
+// entries stay warm), an enabled one must discriminate by weight and by
+// *resolved* radius — radius 0 and the explicit default are one entry.
+func TestCacheKeyThermalPlace(t *testing.T) {
+	prof, err := bench.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := bench.Generate(prof.Scaled(1.0/128), bench.SeedFor("sha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := coffe.DefaultParams()
+	opts := testOptions("sha")
+	base, err := cacheKey(nl, params, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := func(tp ThermalPlace) string {
+		o := opts
+		o.ThermalPlace = tp
+		k, err := cacheKey(nl, params, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	// Disabled (weight <= 0): byte-identical to the legacy key, even with a
+	// stray radius set.
+	if key(ThermalPlace{}) != base {
+		t.Fatal("zero-value ThermalPlace changed the cache key")
+	}
+	if key(ThermalPlace{Weight: 0, KernelRadius: 9}) != base {
+		t.Fatal("disabled thermal term with a radius changed the cache key")
+	}
+
+	// Enabled: weight discriminates.
+	on := key(ThermalPlace{Weight: 0.5})
+	if on == base {
+		t.Fatal("enabled thermal term did not change the cache key")
+	}
+	if key(ThermalPlace{Weight: 0.7}) == on {
+		t.Fatal("weight change did not change the cache key")
+	}
+
+	// Radius is keyed at its resolved value: 0 and the explicit default
+	// share an entry, a different radius splits off.
+	if key(ThermalPlace{Weight: 0.5, KernelRadius: thermalest.DefaultRadius}) != on {
+		t.Fatal("default radius keyed differently from radius 0")
+	}
+	if key(ThermalPlace{Weight: 0.5, KernelRadius: thermalest.DefaultRadius + 2}) == on {
+		t.Fatal("radius change did not change the cache key")
+	}
+}
+
+// thermalBuild runs the full cacheless flow front-end with the given
+// thermal-placement options.
+func thermalBuild(t *testing.T, name string, scale float64, seed int64, tp ThermalPlace) *Implementation {
+	t.Helper()
+	d, _ := devices(t)
+	prof, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := bench.Generate(prof.Scaled(scale), bench.SeedFor(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions(name)
+	opts.Seed = seed
+	opts.ThermalPlace = tp
+	im, err := Implement(nl, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// TestThermalZeroWeightFlowIdentity is the tentpole's safety contract:
+// with the thermal weight at zero the whole flow — placement, routes, and
+// the guardband report — must be byte-identical to today's flow, at every
+// seed. Run under -race in CI alongside the determinism test.
+func TestThermalZeroWeightFlowIdentity(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1234} {
+		base := thermalBuild(t, "sha", 1.0/64, seed, ThermalPlace{})
+		zero := thermalBuild(t, "sha", 1.0/64, seed, ThermalPlace{Weight: 0, KernelRadius: 9})
+		if !bytes.Equal(flowFingerprint(t, base), flowFingerprint(t, zero)) {
+			t.Fatalf("seed %d: zero-weight thermal flow diverged from the baseline build", seed)
+		}
+		rb, err := base.Guardband(guardband.DefaultOptions(25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rz, err := zero.Guardband(guardband.DefaultOptions(25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb.FmaxMHz != rz.FmaxMHz || rb.BaselineMHz != rz.BaselineMHz || rb.Iterations != rz.Iterations {
+			t.Fatalf("seed %d: guardband report diverged: %v/%v/%d vs %v/%v/%d",
+				seed, rb.FmaxMHz, rb.BaselineMHz, rb.Iterations, rz.FmaxMHz, rz.BaselineMHz, rz.Iterations)
+		}
+		for i := range rb.Temps {
+			if rb.Temps[i] != rz.Temps[i] {
+				t.Fatalf("seed %d: converged temperature map diverged at tile %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestThermalWeightReachesPlacer checks the knob is actually wired: a
+// positive weight must change the placement (and still produce a buildable,
+// guardbandable implementation).
+func TestThermalWeightReachesPlacer(t *testing.T) {
+	base := thermalBuild(t, "sha", 1.0/64, 1, ThermalPlace{})
+	therm := thermalBuild(t, "sha", 1.0/64, 1, ThermalPlace{Weight: 1.0})
+	if bytes.Equal(flowFingerprint(t, base), flowFingerprint(t, therm)) {
+		t.Fatal("weight 1.0 produced a byte-identical flow: the thermal term is not reaching the placer")
+	}
+	if _, err := therm.Guardband(guardband.DefaultOptions(25)); err != nil {
+		t.Fatal(err)
+	}
+}

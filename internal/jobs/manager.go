@@ -70,6 +70,10 @@ type Event struct {
 	BackoffMs int64 `json:"backoff_ms,omitempty"`
 	// Progress fields (one Algorithm-1 iteration).
 	Benchmark string `json:"benchmark,omitempty"`
+	// Phase attributes the iteration to a sub-run of the benchmark — a
+	// thermal-place-compare job runs each benchmark twice ("baseline",
+	// "thermal") and a streaming consumer needs to tell them apart.
+	Phase     string `json:"phase,omitempty"`
 	Iteration int    `json:"iteration,omitempty"`
 	// AmbientC attributes the iteration to its ambient lane — in a batched
 	// sweep, iterations from several ambients interleave in one stream.
@@ -171,6 +175,21 @@ type metrics struct {
 	queuedGauge, runningGauge    *obs.Gauge
 	retryWaitGauge               *obs.Gauge
 	duration                     *obs.Histogram
+	// registry backs the per-kind submission counter (byKind); labelled
+	// series are created lazily per observed kind.
+	registry *obs.Registry
+	byKind   map[Kind]*obs.Counter
+}
+
+// submittedKind bumps tafpgad_jobs_total{kind="..."} for one accepted
+// submission (deduped ones included — the label tracks demand, not work).
+func (m *metrics) submittedKind(k Kind) {
+	c, ok := m.byKind[k]
+	if !ok {
+		c = m.registry.CounterL("tafpgad_jobs_total", "Accepted submissions by job kind.", fmt.Sprintf("kind=%q", string(k)))
+		m.byKind[k] = c
+	}
+	c.Inc()
 }
 
 func newMetrics(r *obs.Registry) *metrics {
@@ -178,6 +197,8 @@ func newMetrics(r *obs.Registry) *metrics {
 		r = obs.NewRegistry() // throwaway: instruments still work, nothing scrapes them
 	}
 	return &metrics{
+		registry:           r,
+		byKind:             map[Kind]*obs.Counter{},
 		submitted:          r.Counter("tafpgad_jobs_submitted_total", "Jobs accepted by POST /v1/jobs (deduped submissions included)."),
 		deduped:            r.Counter("tafpgad_jobs_deduped_total", "Submissions coalesced onto an already queued or running identical job."),
 		completed:          r.Counter("tafpgad_jobs_completed_total", "Jobs that finished successfully."),
@@ -296,6 +317,7 @@ func (m *Manager) Submit(spec Spec) (View, bool, error) {
 	m.evictExpiredLocked()
 	if j, ok := m.byKey[key]; ok {
 		m.m.submitted.Inc()
+		m.m.submittedKind(spec.Kind)
 		m.m.deduped.Inc()
 		return m.viewLocked(j), true, nil
 	}
@@ -315,6 +337,7 @@ func (m *Manager) Submit(spec Spec) (View, bool, error) {
 	m.byKey[key] = j
 	m.queue = append(m.queue, j)
 	m.m.submitted.Inc()
+	m.m.submittedKind(spec.Kind)
 	m.m.queuedGauge.Set(float64(len(m.queue)))
 	m.journalAppend(Record{Kind: recordSpec, ID: j.id, Spec: &spec, Key: key, Created: j.created}, false)
 	m.emitLocked(j, Event{Type: EventState, State: StateQueued})

@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"tafpga/internal/coffe"
 	"tafpga/internal/experiments"
@@ -111,8 +112,14 @@ func (r *Runner) context(ctx context.Context, emit func(Event)) *experiments.Con
 	}
 	if emit != nil {
 		c.OnProgress = func(bench string, p guardband.Progress) {
+			// Compare-style experiments label progress "<bench>/<phase>";
+			// split so consumers filter on benchmark without parsing.
+			phase := ""
+			if i := strings.IndexByte(bench, '/'); i >= 0 {
+				bench, phase = bench[:i], bench[i+1:]
+			}
 			emit(Event{
-				Benchmark: bench, Iteration: p.Iteration, AmbientC: p.AmbientC,
+				Benchmark: bench, Phase: phase, Iteration: p.Iteration, AmbientC: p.AmbientC,
 				FmaxMHz: p.FmaxMHz, MaxDeltaC: p.MaxDeltaC, MaxC: p.MaxC,
 				Converged: p.Converged,
 			})
@@ -144,6 +151,11 @@ func (r *Runner) Run(ctx context.Context, spec Spec, emit func(Event)) (any, err
 		case "fig8":
 			return c.Fig8()
 		}
+	case KindThermalPlaceCompare:
+		return c.ThermalPlaceCompare(spec.AmbientC, flow.ThermalPlace{
+			Weight:       spec.ThermalWeight,
+			KernelRadius: spec.ThermalRadius,
+		})
 	}
 	return nil, fmt.Errorf("jobs: unrunnable spec kind %q", spec.Kind)
 }

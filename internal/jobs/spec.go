@@ -30,6 +30,10 @@ const (
 	// KindFigure reproduces one of the paper's benchmark-suite figures
 	// (fig6, fig7, fig8).
 	KindFigure Kind = "figure"
+	// KindThermalPlaceCompare runs every suite benchmark through the full
+	// Algorithm-1 guardband twice — thermally-oblivious vs thermal-aware
+	// placement — and reports the peak-temperature and fmax deltas.
+	KindThermalPlaceCompare Kind = "thermal-place-compare"
 )
 
 // Figures are the suite experiments a KindFigure job may request.
@@ -49,6 +53,12 @@ type Spec struct {
 	Ambients []float64 `json:"ambients,omitempty"`
 	// Figure is fig6, fig7, or fig8 (figure kind).
 	Figure string `json:"figure,omitempty"`
+	// ThermalWeight and ThermalRadius configure the thermal-aware phase of
+	// the thermal-place-compare kind (flow.ThermalPlace). Unlike the
+	// daemon's wall-clock knobs these change the produced results, so they
+	// are Spec fields and participate in the dedup key.
+	ThermalWeight float64 `json:"thermal_weight,omitempty"`
+	ThermalRadius int     `json:"thermal_radius,omitempty"`
 }
 
 // ambientLo/ambientHi bound accepted ambient temperatures — admission
@@ -98,6 +108,14 @@ func (s Spec) Validate() error {
 			}
 		}
 		return fmt.Errorf("jobs: unknown figure %q (want one of %s)", s.Figure, strings.Join(Figures, ", "))
+	case KindThermalPlaceCompare:
+		if s.ThermalWeight <= 0 || s.ThermalWeight > 1000 {
+			return fmt.Errorf("jobs: thermal weight %g outside (0, 1000]", s.ThermalWeight)
+		}
+		if s.ThermalRadius < 0 || s.ThermalRadius > 64 {
+			return fmt.Errorf("jobs: thermal kernel radius %d outside [0, 64]", s.ThermalRadius)
+		}
+		return checkAmbient(s.AmbientC)
 	default:
 		return fmt.Errorf("jobs: unknown kind %q", s.Kind)
 	}
@@ -124,6 +142,8 @@ func (s Spec) Key() string {
 		}
 	case KindFigure:
 		fmt.Fprintf(&b, "|figure:%s", s.Figure)
+	case KindThermalPlaceCompare:
+		fmt.Fprintf(&b, "|ambient:%g|w:%g|r:%d", s.AmbientC, s.ThermalWeight, s.ThermalRadius)
 	}
 	return fmt.Sprintf("%x", sha256.Sum256([]byte(b.String())))
 }

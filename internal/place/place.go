@@ -27,6 +27,7 @@ import (
 	"tafpga/internal/coffe"
 	"tafpga/internal/netlist"
 	"tafpga/internal/pack"
+	"tafpga/internal/thermalest"
 )
 
 // ioPadsPerTile is the pad capacity of one IO ring tile.
@@ -139,12 +140,57 @@ type annealer struct {
 	newCosts   []float64
 
 	total float64
+
+	// Thermal-aware extension (nil/zero on the baseline path): est is the
+	// incremental rise estimator, entPowerUW the per-entity power proxy,
+	// thermW the configured weight pre-multiplied by the wirelength/
+	// objective normalization, and thermMoves the accepted-transfer count
+	// that paces the periodic drift re-normalization.
+	est        *thermalest.Estimate
+	entPowerUW []float64
+	thermW     float64
+	thermMoves int
 }
 
 // Place anneals the packed design. effort scales the move budget (1.0 is
 // the default VPR-like schedule); seed fixes the random stream. The result
 // is byte-identical to PlaceReference for the same inputs.
 func Place(p *pack.Result, grid *arch.Grid, seed int64, effort float64) (*Placement, error) {
+	return placeAnneal(p, grid, seed, effort, nil)
+}
+
+// ThermalCost configures thermal-aware placement: the annealing cost gains
+// a Weight-scaled thermal term priced by the truncated influence kernel,
+// so hot blocks spread apart instead of clustering.
+type ThermalCost struct {
+	// Weight scales the thermal objective relative to the wirelength cost
+	// (both are normalized to the initial placement, so 1.0 weighs them
+	// equally). Weight <= 0 disables the term entirely.
+	Weight float64
+	// Kernel is the truncated influence kernel of the target grid's
+	// thermal model (thermalest.KernelFor).
+	Kernel *thermalest.Kernel
+	// BlockPowerUW[b] is the power proxy of netlist block b
+	// (thermalest.BlockPowerUW).
+	BlockPowerUW []float64
+}
+
+// PlaceThermal anneals with a thermal term in the cost. With Weight <= 0
+// or a nil kernel it delegates to Place and is byte-identical to it; with
+// a positive weight the accept/reject decisions (and hence TileOf) differ,
+// and Cost reports the combined wirelength + weighted-thermal objective.
+func PlaceThermal(p *pack.Result, grid *arch.Grid, seed int64, effort float64, tc ThermalCost) (*Placement, error) {
+	if tc.Weight <= 0 || tc.Kernel == nil {
+		return Place(p, grid, seed, effort)
+	}
+	return placeAnneal(p, grid, seed, effort, &tc)
+}
+
+// placeAnneal is the shared annealer body. tc == nil is the baseline path
+// Place exposes; every thermal extension is gated behind it so the
+// baseline consumes the identical RNG stream and produces the identical
+// bytes.
+func placeAnneal(p *pack.Result, grid *arch.Grid, seed int64, effort float64, tc *ThermalCost) (*Placement, error) {
 	if effort <= 0 {
 		effort = 1.0
 	}
@@ -317,6 +363,50 @@ func Place(p *pack.Result, grid *arch.Grid, seed int64, effort float64) (*Placem
 	a.touchFlag = make([]uint8, numNets)
 	for i := range a.touchStamp {
 		a.touchStamp[i] = -1
+	}
+
+	// Thermal-aware extension: aggregate the block-power proxy per entity,
+	// deposit it on the initial tiles, and normalize the weight so the
+	// thermal objective enters the cost in wirelength units.
+	if tc != nil {
+		if tc.Kernel.W != grid.W || tc.Kernel.H != grid.H {
+			return nil, fmt.Errorf("place: thermal kernel %dx%d != grid %dx%d",
+				tc.Kernel.W, tc.Kernel.H, grid.W, grid.H)
+		}
+		if len(tc.BlockPowerUW) != len(nl.Blocks) {
+			return nil, fmt.Errorf("place: block power length %d != %d blocks",
+				len(tc.BlockPowerUW), len(nl.Blocks))
+		}
+		a.entPowerUW = make([]float64, len(ents))
+		for ei := range ents {
+			e := &ents[ei]
+			if e.cluster >= 0 {
+				for _, ble := range p.Clusters[e.cluster].BLEs {
+					if ble.LUT >= 0 {
+						a.entPowerUW[ei] += tc.BlockPowerUW[ble.LUT]
+					}
+					if ble.FF >= 0 {
+						a.entPowerUW[ei] += tc.BlockPowerUW[ble.FF]
+					}
+				}
+			} else {
+				a.entPowerUW[ei] = tc.BlockPowerUW[e.block]
+			}
+		}
+		tilePow := make([]float64, grid.NumTiles())
+		for ei := range ents {
+			tilePow[ents[ei].tile] += a.entPowerUW[ei]
+		}
+		est, err := thermalest.New(tc.Kernel, tilePow)
+		if err != nil {
+			return nil, err
+		}
+		if obj := est.Objective(); obj > 0 && a.total > 0 {
+			a.est = est
+			a.thermW = tc.Weight * a.total / obj
+		}
+		// A powerless or netless design has nothing thermal to trade off;
+		// est stays nil and the anneal runs the baseline arithmetic.
 	}
 
 	// Annealing schedule (VPR-like), identical to the seed.
@@ -547,11 +637,34 @@ func (a *annealer) tryMove(rng *rand.Rand, temp float64) bool {
 	}
 
 	delta := newSum - oldSum
+	// Thermal term: a swap is a single net transfer of the power
+	// difference from the moved entity's old tile to its new one, priced
+	// in O(radius²) against the current rise field.
+	var thermQ float64
+	if a.est != nil && oldTile != target {
+		thermQ = a.entPowerUW[ei]
+		if hasOcc {
+			thermQ -= a.entPowerUW[oi]
+		}
+		if thermQ != 0 {
+			delta += a.thermW * a.est.MoveDelta(thermQ, oldTile, target)
+		}
+	}
 	if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 		for i, ni := range a.touched {
 			a.netCost[ni] = a.newCosts[i]
 		}
 		a.total += delta
+		if thermQ != 0 {
+			// Apply repeats MoveDelta's arithmetic verbatim, so the
+			// committed objective matches the priced delta bit for bit;
+			// the periodic Recompute squeezes out accumulated rounding.
+			a.est.Apply(thermQ, oldTile, target)
+			a.thermMoves++
+			if a.thermMoves&4095 == 0 {
+				a.est.Recompute()
+			}
+		}
 		return true
 	}
 	// Revert positions, occupancy, and cached boxes.

@@ -1,0 +1,55 @@
+package thermalest
+
+import (
+	"tafpga/internal/activity"
+	"tafpga/internal/coffe"
+	"tafpga/internal/netlist"
+)
+
+// BlockPowerUW returns a per-block dynamic-power proxy: the block-local
+// terms of power.Model's deposit recipe (LUT + local crossbar, FF clock/
+// data/spine, BRAM, DSP, and the driver's output mux), in µW at 1 MHz.
+// Routed-interconnect deposits are deliberately absent — they do not exist
+// until after placement, which is exactly when this proxy is consumed.
+// The absolute scale is irrelevant: the annealer normalizes the thermal
+// objective against the wirelength cost, so only the spatial distribution
+// matters. Leakage is also absent; it is a per-tile-class constant that
+// placement moves between same-class tiles cannot change.
+func BlockPowerUW(dev *coffe.Device, nl *netlist.Netlist, act []activity.Stats) []float64 {
+	vdd := dev.Kit.Buf.Vdd
+	vddL := dev.Kit.SRAM.Vdd
+	p := make([]float64, len(nl.Blocks))
+	for i := range nl.Blocks {
+		b := &nl.Blocks[i]
+		alpha := act[i].Density
+		var uw float64
+		switch b.Type {
+		case netlist.LUT:
+			uw = dynUWPerMHz(dev.CEff(coffe.LUTA), alpha, vdd)
+			for _, in := range b.Inputs {
+				uw += dynUWPerMHz(dev.CEff(coffe.LocalMux), act[in].Density, vdd)
+			}
+		case netlist.FF:
+			uw = dynUWPerMHz(10, 1.0, vdd) + dynUWPerMHz(4, 1.0, vdd)
+			if len(b.Inputs) > 0 {
+				uw += dynUWPerMHz(6, act[b.Inputs[0]].Density, vdd)
+			}
+		case netlist.BRAM:
+			uw = dynUWPerMHz(dev.CEff(coffe.BRAM), 0.5+0.5*alpha, vddL)
+		case netlist.DSP:
+			uw = dynUWPerMHz(dev.CEff(coffe.DSP), alpha, vdd)
+		}
+		if len(nl.Sinks[i]) > 0 {
+			uw += dynUWPerMHz(dev.CEff(coffe.OutputMux), alpha, vdd)
+		}
+		p[i] = uw
+	}
+	return p
+}
+
+// dynUWPerMHz mirrors power.dynUWPerMHz (½αCV²f at 1 MHz, fF→µW); the
+// power package sits above place in the import graph, so the one-line
+// formula is restated here instead of imported.
+func dynUWPerMHz(cFF, alpha, v float64) float64 {
+	return 0.5 * alpha * cFF * 1e-15 * v * v * 1e6 * 1e6
+}

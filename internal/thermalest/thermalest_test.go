@@ -1,0 +1,242 @@
+package thermalest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tafpga/internal/hotspot"
+)
+
+func testModel(t testing.TB, w, h int) *hotspot.Model {
+	t.Helper()
+	m, err := hotspot.NewModel(w, h, 5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// randomPowers fills a power field with a deterministic mix of idle and hot
+// tiles, roughly the shape placement deposits.
+func randomPowers(rng *rand.Rand, n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 50 + 400*rng.Float64()
+		if rng.Intn(8) == 0 {
+			p[i] += 5000 * rng.Float64()
+		}
+	}
+	return p
+}
+
+// TestApplyMatchesMoveDelta pins the bitwise contract the annealer's
+// accept bookkeeping depends on: for any state, Apply commits exactly the
+// delta MoveDelta quoted — same floating-point order, same bits.
+func TestApplyMatchesMoveDelta(t *testing.T) {
+	m := testModel(t, 24, 18)
+	k, err := NewKernel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	n := m.W * m.H
+	est, err := New(k, randomPowers(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		q := (rng.Float64() - 0.3) * 2000
+		quoted := est.MoveDelta(q, from, to)
+		committed := est.Apply(q, from, to)
+		if quoted != committed {
+			t.Fatalf("move %d: Apply committed %v but MoveDelta quoted %v", i, committed, quoted)
+		}
+	}
+}
+
+// TestIncrementalMatchesRecompute is the drift property test: a long random
+// sequence of committed transfers must leave the incremental rise field and
+// objective within floating-point-accumulation distance of the exact
+// rebuild, and a rebuild right after a rebuild must correct nothing.
+func TestIncrementalMatchesRecompute(t *testing.T) {
+	m := testModel(t, 20, 20)
+	k, err := NewKernel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	n := m.W * m.H
+	est, err := New(k, randomPowers(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 3000; i++ {
+			est.Apply((rng.Float64()-0.4)*3000, rng.Intn(n), rng.Intn(n))
+		}
+		objInc := est.Objective()
+		drift := est.Recompute()
+		if drift > 1e-6 {
+			t.Fatalf("round %d: rise drift %g K after 3000 transfers", round, drift)
+		}
+		if rel := math.Abs(objInc-est.Objective()) / math.Max(est.Objective(), 1); rel > 1e-9 {
+			t.Fatalf("round %d: incremental objective off by %g relative", round, rel)
+		}
+		// The renormalized state must be a fixed point of Recompute: the
+		// annealer's periodic renorm relies on it being exact.
+		if d2 := est.Recompute(); d2 != 0 {
+			t.Fatalf("round %d: Recompute after Recompute still corrected %g", round, d2)
+		}
+	}
+}
+
+// TestEstimateMatchesExactSuperposition checks the untruncated case against
+// the model's own influence columns: with the radius covering the whole
+// grid, the rise field must be the exact superposition Σ pᵢ·K⁻¹eᵢ.
+func TestEstimateMatchesExactSuperposition(t *testing.T) {
+	m := testModel(t, 9, 8)
+	n := m.W * m.H
+	k, err := NewKernel(m, n) // radius ≥ grid: no truncation
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	pow := randomPowers(rng, n)
+	est, err := New(k, pow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := make([]float64, n)
+	col := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if err := m.Influence(i, col); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			exact[j] += pow[i] * col[j] * 1e-6
+		}
+	}
+	peak := 0.0
+	for j := 0; j < n; j++ {
+		if exact[j] > peak {
+			peak = exact[j]
+		}
+	}
+	if got := est.PeakRise(); math.Abs(got-peak) > 1e-9*math.Max(peak, 1) {
+		t.Fatalf("untruncated peak rise %g K, exact superposition %g K", got, peak)
+	}
+	// The objective must match Σ rise² of the exact field.
+	want := 0.0
+	for _, r := range exact {
+		want += r * r
+	}
+	if rel := math.Abs(est.Objective()-want) / math.Max(want, 1); rel > 1e-9 {
+		t.Fatalf("objective %g, exact %g (rel %g)", est.Objective(), want, rel)
+	}
+}
+
+// TestKernelTruncationMass pins the truncation bound DESIGN.md §16 quotes:
+// the default radius (3× the 2-tile screening length) holds ≥92% of the
+// impulse-response mass, and doubling it converges past 99%.
+func TestKernelTruncationMass(t *testing.T) {
+	m := testModel(t, 40, 40)
+	full := make([]float64, m.W*m.H)
+	center := (m.H/2)*m.W + m.W/2
+	if err := m.Influence(center, full); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, v := range full {
+		total += v
+	}
+	boxMass := func(radius int) float64 {
+		boxed := 0.0
+		for dy := -radius; dy <= radius; dy++ {
+			for dx := -radius; dx <= radius; dx++ {
+				boxed += full[(m.H/2+dy)*m.W+m.W/2+dx]
+			}
+		}
+		return boxed / total
+	}
+	if frac := boxMass(DefaultRadius); frac < 0.92 {
+		t.Fatalf("default radius %d captures only %.4f of the impulse mass", DefaultRadius, frac)
+	}
+	if frac := boxMass(2 * DefaultRadius); frac < 0.99 {
+		t.Fatalf("radius %d captures only %.4f of the impulse mass", 2*DefaultRadius, frac)
+	}
+}
+
+// TestKernelForSharesBuilds pins the process-wide cache: one build per
+// (grid, radius, resistances), shared by pointer.
+func TestKernelForSharesBuilds(t *testing.T) {
+	m := testModel(t, 12, 10)
+	k1, err := KernelFor(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := KernelFor(m, DefaultRadius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("radius 0 and the explicit default built distinct kernels")
+	}
+	k3, err := KernelFor(m, DefaultRadius+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatal("different radius shared a kernel")
+	}
+}
+
+// TestMoveDeltaAllocFree pins the annealer-inner-loop contract: pricing a
+// move allocates nothing.
+func TestMoveDeltaAllocFree(t *testing.T) {
+	m := testModel(t, 24, 18)
+	k, err := NewKernel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.W * m.H
+	rng := rand.New(rand.NewSource(5))
+	est, err := New(k, randomPowers(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		est.MoveDelta(1234.5, 17, n-3)
+	}); allocs != 0 {
+		t.Fatalf("MoveDelta allocated %.1f objects per call", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		est.Apply(10, 17, n-3)
+		est.Apply(10, n-3, 17)
+	}); allocs != 0 {
+		t.Fatalf("Apply allocated %.1f objects per call pair", allocs)
+	}
+}
+
+// TestDegenerateTransfers pins the no-op cases.
+func TestDegenerateTransfers(t *testing.T) {
+	m := testModel(t, 8, 8)
+	k, err := NewKernel(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := New(k, make([]float64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := est.MoveDelta(100, 5, 5); d != 0 {
+		t.Fatalf("same-tile transfer priced %g", d)
+	}
+	if d := est.MoveDelta(0, 5, 9); d != 0 {
+		t.Fatalf("zero-power transfer priced %g", d)
+	}
+	if _, err := New(k, make([]float64, 63)); err == nil {
+		t.Fatal("short power vector accepted")
+	}
+}

@@ -77,10 +77,15 @@ inner)
 	SWEEP_BATCH_JSON="${SWEEP_BATCH:-11}"
 	;;
 flow)
-	BENCH='BenchmarkPlace|BenchmarkRoute|BenchmarkFlowBuild'
+	BENCH='BenchmarkPlace|BenchmarkRoute|BenchmarkFlowBuild|BenchmarkThermalPlace'
 	BENCHTIME="${BENCHTIME:-1x}"
 	OUT="${OUT:-BENCH_flow.json}"
-	PAIRS='Place=PlaceReference,Route=RouteReference,FlowBuild=FlowBuildReference'
+	# ThermalPlaceMoveDelta is paired against a full hotspot solve per move
+	# (the alternative the truncated kernel replaces; acceptance floor 10x),
+	# and FlowBuildThermal against the thermally-oblivious build — that
+	# "speedup" is < 1 by construction and reads as the thermal term's
+	# whole-flow overhead.
+	PAIRS='Place=PlaceReference,Route=RouteReference,FlowBuild=FlowBuildReference,ThermalPlaceMoveDelta=ThermalPlaceFullSolve,FlowBuildThermal=FlowBuild'
 	# Record the effective router worker count alongside the numbers: the
 	# routed bytes are identical for every value, but the wall clock is not.
 	TAFPGA_ROUTE_WORKERS="${ROUTE_WORKERS:-0}"

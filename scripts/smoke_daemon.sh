@@ -6,9 +6,11 @@
 # coalesce onto the first), polls the job to completion, checks the NDJSON
 # event stream ends on the terminal state, then submits a multi-ambient
 # sweep job and asserts its progress events carry per-lane ambient
-# attribution ("ambient_c"), scrapes /metrics for the dedup counters and the
-# sweep-lane histogram, and finally SIGTERMs the daemon and asserts a
-# graceful zero-status exit.
+# attribution ("ambient_c"), submits a thermal-place-compare job and asserts
+# its progress events carry per-phase attribution ("phase":"baseline" /
+# "phase":"thermal"), scrapes /metrics for the dedup counters, the per-kind
+# submission counter, and the sweep-lane histogram, and finally SIGTERMs the
+# daemon and asserts a graceful zero-status exit.
 #
 # Environment:
 #   ADDR=host:port  listen address (default 127.0.0.1:18080)
@@ -116,17 +118,54 @@ for amb in 25 45 70; do
 		fail "sweep stream has no progress event attributed to ${amb}°C: $SWEEP_EVENTS"
 done
 
+# The -bench sha restriction scopes suite-wide jobs, so the comparison runs
+# one benchmark through the guardband twice: thermally-oblivious placement
+# vs thermal-aware under the spec's weight.
+THERMAL_SPEC='{"kind":"thermal-place-compare","ambient_c":25,"thermal_weight":0.5}'
+echo "submitting a thermal-place-compare job..." >&2
+R4="$(curl -fsS "$BASE/v1/jobs" -d "$THERMAL_SPEC")"
+ID4="$(echo "$R4" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)"
+[ -n "$ID4" ] || fail "no job id in thermal-place-compare response: $R4"
+
+echo "polling $ID4 to completion..." >&2
+i=0
+while :; do
+	VIEW="$(curl -fsS "$BASE/v1/jobs/$ID4")"
+	STATE="$(echo "$VIEW" | grep -o '"state":"[^"]*"' | head -1 | cut -d'"' -f4)"
+	case "$STATE" in
+	done) break ;;
+	failed | cancelled) fail "thermal-place-compare job ended $STATE: $VIEW" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -le "$TIMEOUT" ] || fail "thermal-place-compare job still $STATE after ${TIMEOUT}s"
+	sleep 1
+done
+echo "$VIEW" | grep -q '"result"' || fail "done thermal-place-compare job has no result: $VIEW"
+
+echo "checking per-phase attribution in the compare stream..." >&2
+THERMAL_EVENTS="$(curl -fsS "$BASE/v1/jobs/$ID4/events")"
+echo "$THERMAL_EVENTS" | tail -1 | grep -q '"state":"done"' || fail "compare stream must end done: $THERMAL_EVENTS"
+for phase in baseline thermal; do
+	echo "$THERMAL_EVENTS" | grep -q "\"phase\":\"$phase\"" ||
+		fail "compare stream has no progress event attributed to the $phase phase: $THERMAL_EVENTS"
+done
+
 echo "scraping /metrics..." >&2
 METRICS="$(curl -fsS "$BASE/metrics")"
 # Two batched dispatches: the deduped guardband pair (one single-lane batch)
-# and the sweep job (one three-lane batch) — count 2, lane sum 4.
+# and the sweep job (one three-lane batch) — count 2, lane sum 4. The
+# compare job guardbands through the serial engine, so the histogram does
+# not move; the per-kind counter attributes all four accepted submissions.
 for want in \
-	"tafpgad_jobs_submitted_total 3" \
+	"tafpgad_jobs_submitted_total 4" \
 	"tafpgad_jobs_deduped_total 1" \
-	"tafpgad_jobs_completed_total 2" \
-	"tafpgad_job_duration_seconds_count 2" \
+	"tafpgad_jobs_completed_total 3" \
+	"tafpgad_job_duration_seconds_count 3" \
 	"tafpgad_sweep_lanes_count 2" \
-	"tafpgad_sweep_lanes_sum 4"; do
+	"tafpgad_sweep_lanes_sum 4" \
+	"tafpgad_jobs_total{kind=\"guardband\"} 2" \
+	"tafpgad_jobs_total{kind=\"sweep\"} 1" \
+	"tafpgad_jobs_total{kind=\"thermal-place-compare\"} 1"; do
 	echo "$METRICS" | grep -qF "$want" || fail "/metrics missing '$want':
 $METRICS"
 done
