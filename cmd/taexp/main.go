@@ -11,6 +11,12 @@
 // takes every benchmark through the full Algorithm-1 guardband twice —
 // thermally-oblivious vs thermal-aware placement under -thermal-weight /
 // -thermal-radius — and reports the ΔT_peak / Δf_guardband table.
+// The additional "energysweep" experiment (also not in the default set)
+// runs the min-energy guardband objective per benchmark and ambient
+// (-energy-ambients): instead of raising the clock, the recovered thermal
+// margin is spent lowering the core rail at iso-frequency (-target, 0 =
+// each benchmark's own conventional worst-case clock), and the table
+// reports the minimum safe Vdd plus the power and energy-per-cycle saving.
 //
 // Flags:
 //
@@ -45,12 +51,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"tafpga/internal/experiments"
 	"tafpga/internal/flow"
+	"tafpga/internal/guardband"
 )
 
 func main() {
@@ -66,6 +74,8 @@ func main() {
 	thermalWeight := flag.Float64("thermal-weight", 0.25, "thermal objective weight for the thermalcompare experiment")
 	thermalRadius := flag.Int("thermal-radius", 0, "thermal kernel truncation radius in tiles (0 = default)")
 	thermalAmbient := flag.Float64("thermal-ambient", 25, "guardbanding ambient °C for the thermalcompare experiment")
+	energyAmbients := flag.String("energy-ambients", "25,70", "comma-separated ambient °C axis for the energysweep experiment")
+	targetMHz := flag.Float64("target", 0, "iso-frequency target in MHz for the energysweep experiment (0 = each benchmark's worst-case baseline)")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file at exit")
@@ -145,10 +155,15 @@ func main() {
 	if len(wanted) == 0 {
 		wanted = []string{"fig1", "fig2", "fig3", "table1", "table2", "fig6", "fig7", "fig8", "ablations", "scorecard"}
 	}
+	ambients, err := parseAmbients(*energyAmbients)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taexp:", err)
+		os.Exit(1)
+	}
 	tp := flow.ThermalPlace{Weight: *thermalWeight, KernelRadius: *thermalRadius}
 	for _, name := range wanted {
 		start := time.Now()
-		if err := run(ctx, name, *csvDir, tp, *thermalAmbient); err != nil {
+		if err := run(ctx, name, *csvDir, tp, *thermalAmbient, ambients, *targetMHz); err != nil {
 			fmt.Fprintf(os.Stderr, "taexp: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -169,7 +184,20 @@ func main() {
 	}
 }
 
-func run(ctx *experiments.Context, name, csvDir string, tp flow.ThermalPlace, thermalAmbient float64) error {
+// parseAmbients parses the -energy-ambients axis.
+func parseAmbients(csv string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ambient %q in -energy-ambients", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(ctx *experiments.Context, name, csvDir string, tp flow.ThermalPlace, thermalAmbient float64, energyAmbients []float64, targetMHz float64) error {
 	warnUnconverged := func(rs []experiments.BenchResult) {
 		if un := experiments.Unconverged(rs); len(un) > 0 {
 			fmt.Fprintf(os.Stderr, "taexp: warning: %s: Algorithm 1 exhausted its iteration budget on: %s\n",
@@ -277,6 +305,31 @@ func run(ctx *experiments.Context, name, csvDir string, tp flow.ThermalPlace, th
 		fmt.Print(experiments.FormatThermalCompare(title, rs))
 		if cerr := csvOut("thermalcompare.csv", func(w io.Writer) error {
 			return experiments.WriteThermalCompareCSV(w, rs)
+		}); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
+	case "energysweep":
+		rs, err := ctx.EnergySweep(energyAmbients, targetMHz)
+		if len(rs) == 0 {
+			return err
+		}
+		title := fmt.Sprintf("Min-energy guardbanding: minimum safe Vdd at iso-frequency (ambients %v)", energyAmbients)
+		if err != nil {
+			title += fmt.Sprintf(" [PARTIAL: %d row(s) finished]", len(rs))
+		}
+		fmt.Print(experiments.FormatEnergySweep(title, rs))
+		if inf := experiments.InfeasibleEnergy(rs); len(inf) > 0 {
+			fmt.Fprintf(os.Stderr, "taexp: warning: energysweep: target out of reach at nominal rail on: %s\n",
+				strings.Join(inf, ", "))
+		}
+		var stats guardband.Stats
+		for _, r := range rs {
+			stats.Add(r.Stats)
+		}
+		fmt.Fprintf(os.Stderr, "[energysweep kernels: %s]\n", stats)
+		if cerr := csvOut("energysweep.csv", func(w io.Writer) error {
+			return experiments.WriteEnergyCSV(w, rs)
 		}); cerr != nil && err == nil {
 			err = cerr
 		}

@@ -23,6 +23,13 @@
 //	-blif path    write the generated netlist as BLIF to path
 //	-sweep spec   guardband an ambient sweep instead of one point:
 //	              "lo:hi:step" (e.g. 0:100:10) or a comma list (e.g. 25,45,70)
+//	-objective s  guardband objective (default "fmax"): "min-energy" keeps
+//	              the clock at -target and instead bisects the minimum safe
+//	              core rail on the same routed implementation, converting the
+//	              recovered thermal margin into supply/energy savings
+//	-target f     min-energy iso-frequency target in MHz (0 = the
+//	              conventional Tworst=100°C baseline clock, i.e. the
+//	              frequency a thermally-oblivious flow would have shipped)
 //	-parallel n   sweep workers (0 = GOMAXPROCS, 1 = serial)
 //	-sweep-batch n  run the sweep's ambients in lockstep batches of n lanes
 //	              through the batched guardband engine (0/1 = serial workers);
@@ -83,6 +90,8 @@ func main() {
 	thermalWeight := flag.Float64("thermal-weight", 0, "thermal placement objective weight (0 = off)")
 	thermalRadius := flag.Int("thermal-radius", 0, "thermal kernel truncation radius in tiles (0 = default)")
 	sweep := flag.String("sweep", "", `ambient sweep: "lo:hi:step" or comma list of °C`)
+	objective := flag.String("objective", "fmax", `guardband objective: "fmax" or "min-energy"`)
+	target := flag.Float64("target", 0, "min-energy iso-frequency target in MHz (0 = worst-case baseline clock)")
 	flowcache := flag.String("flowcache", "", "directory for the on-disk place-and-route cache (reused across runs)")
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
 	sweepBatch := flag.Int("sweep-batch", 0, "lockstep lanes per batched guardband dispatch; bit-identical per lane (0/1 = serial)")
@@ -139,12 +148,17 @@ func main() {
 		name = flag.Arg(0)
 	}
 
-	// Validate the sweep spec up front: a typo must not cost a sizing run.
+	// Validate the sweep spec and objective up front: a typo must not cost a
+	// sizing run.
 	var ambients []float64
 	if *sweep != "" {
 		var err error
 		ambients, err = parseSweep(*sweep)
 		die(err)
+	}
+	if *objective != "fmax" && *objective != "min-energy" {
+		fmt.Fprintf(os.Stderr, "tafpga: unknown objective %q (want fmax or min-energy)\n", *objective)
+		os.Exit(2)
 	}
 
 	cfg := tafpga.NewConfig()
@@ -200,6 +214,14 @@ func main() {
 		fmt.Printf("implemented on %s (router: %d iterations, %s)\n", im.Grid, im.Routed.Iters, im.Routed.Graph)
 	} else {
 		fmt.Printf("implemented on %s (router: %d iterations, from flow cache)\n", im.Grid, im.Routed.Iters)
+	}
+
+	if *objective == "min-energy" {
+		if *sweep == "" {
+			ambients = []float64{*ambient}
+		}
+		runMinEnergy(runCtx, im, ambients, *target)
+		return
 	}
 
 	if *sweep != "" {
@@ -382,6 +404,91 @@ func runSweepBatch(ctx context.Context, im *flow.Implementation, ambients []floa
 	}
 	if failed != nil {
 		fmt.Printf("  error: %v\n", failed)
+	}
+	fmt.Printf("kernels: %s\n", agg)
+}
+
+// runMinEnergy runs the min-energy guardband objective: per ambient, bisect
+// the minimum safe core rail that still meets the iso-frequency target
+// (0 = that run's conventional worst-case clock) on the same routed
+// implementation. One VddLab shares every per-rail model derivation across
+// ambients. A single ambient streams the probe-by-probe search; a -sweep
+// prints one row per ambient.
+func runMinEnergy(ctx context.Context, im *flow.Implementation, ambients []float64, targetMHz float64) {
+	lab := flow.NewVddLab(im)
+	single := len(ambients) == 1
+	if !single {
+		label := "per-ambient worst-case baseline"
+		if targetMHz > 0 {
+			label = fmt.Sprintf("%.1f MHz", targetMHz)
+		}
+		fmt.Printf("\nMin-energy guardbanding ambient sweep (target %s):\n", label)
+		fmt.Printf("%10s %12s %9s %9s %12s %12s %8s %8s %7s\n",
+			"Tamb(C)", "target(MHz)", "Vnom(V)", "Vmin(V)", "Pnom(uW)", "Pmin(uW)", "save(%)", "pJ/cyc", "probes")
+	}
+	var agg guardband.Stats
+	for _, amb := range ambients {
+		opts := guardband.DefaultEnergyOptions(amb)
+		opts.Ctx = ctx
+		opts.TargetMHz = targetMHz
+		if single {
+			fmt.Printf("\nMin-energy guardbanding at Tamb = %.0f°C (bisecting the core rail):\n", amb)
+			opts.OnProbe = func(p guardband.EnergyProbe) {
+				if p.NonConducting {
+					fmt.Printf("  probe %2d  %.3f V  non-conducting at this corner (cold search bound)\n", p.Probe, p.VddV)
+					return
+				}
+				verdict := "infeasible"
+				if p.Feasible {
+					verdict = "feasible"
+				}
+				fmt.Printf("  probe %2d  %.3f V  fmax %8.1f MHz  %10.1f µW  %-10s (%d iters)\n",
+					p.Probe, p.VddV, p.FmaxMHz, p.PowerUW, verdict, p.Iterations)
+			}
+		}
+		res, err := lab.MinEnergy(opts)
+		if err != nil {
+			if single {
+				die(err)
+			}
+			fmt.Printf("%10.1f  error: %v\n", amb, err)
+			continue
+		}
+		agg.Add(res.Stats)
+		if !single {
+			fmt.Printf("%10.1f %12.1f %9.3f %9.3f %12.1f %12.1f %8.1f %8.2f %7d",
+				amb, res.TargetMHz, res.NominalVddV, res.MinVddV,
+				res.NominalPowerUW, res.PowerUW, res.SavingsPct, res.EnergyPJ, res.Probes)
+			if !res.Feasible {
+				fmt.Print("  [INFEASIBLE]")
+			}
+			if !res.Converged {
+				fmt.Print("  [UNCONVERGED]")
+			}
+			fmt.Println()
+			continue
+		}
+		fmt.Printf("\n  target frequency      %8.1f MHz", res.TargetMHz)
+		if targetMHz <= 0 {
+			fmt.Print("   (= conventional Tworst=100°C clock)")
+		}
+		fmt.Println()
+		if !res.Feasible {
+			fmt.Printf("  INFEASIBLE: the nominal %.3f V rail clocks only %.1f MHz at this ambient;\n",
+				res.NominalVddV, res.FmaxMHz)
+			fmt.Println("              the figures below are the nominal operating point, not a savings")
+		}
+		fmt.Printf("  min safe Vdd          %8.3f V   (nominal %.3f V)\n", res.MinVddV, res.NominalVddV)
+		fmt.Printf("  power at target       %10.1f µW  (nominal %.1f µW)\n", res.PowerUW, res.NominalPowerUW)
+		fmt.Printf("  energy per cycle      %10.2f pJ  (nominal %.2f pJ)\n", res.EnergyPJ, res.NominalEnergyPJ)
+		fmt.Printf("  iso-frequency saving  %8.1f %%\n", res.SavingsPct)
+		fmt.Printf("  timing headroom       %8.1f MHz at the min rail\n", res.FmaxMHz)
+		fmt.Printf("  probes / iterations   %8d / %d\n", res.Probes, res.Iterations)
+		fmt.Printf("  mean rise             %8.2f °C\n", res.RiseC)
+		if !res.Converged {
+			fmt.Println("  WARNING: the winning probe exhausted its iteration budget before the")
+			fmt.Println("           temperature map settled; its figures are the last iterate")
+		}
 	}
 	fmt.Printf("kernels: %s\n", agg)
 }

@@ -18,6 +18,9 @@
 //	-seed n      seed of the deterministic spec stream (default 1)
 //	-bench csv   benchmark pool for generated specs (default sha,diffeq1,ch_intrinsics)
 //	-mix f       fraction of sweep (multi-ambient) specs in the stream (default 0.2)
+//	-energy-mix f  fraction of min-energy (Vdd-bisection) specs in the
+//	             stream (default 0.1); these exercise the voltage-probe
+//	             path, which is hotter per job than a guardband point
 //	-grid n      distinct ambient points per benchmark (default 512). Large
 //	             grids make most specs unique (cold, CPU-bound jobs — a
 //	             capacity benchmark); small grids repeat specs (dedup- and
@@ -81,6 +84,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "spec stream seed")
 	benchCSV := flag.String("bench", "sha,diffeq1,ch_intrinsics", "benchmark pool")
 	mix := flag.Float64("mix", 0.2, "fraction of sweep specs in the stream")
+	energyMix := flag.Float64("energy-mix", 0.1, "fraction of min-energy specs in the stream")
 	grid := flag.Int("grid", 512, "distinct ambient points per benchmark")
 	metricsCSV := flag.String("metrics", "", "/metrics URLs, one per replica (default: -url/metrics)")
 	wait := flag.Duration("wait", 10*time.Minute, "drain budget after the submission window")
@@ -128,7 +132,7 @@ func main() {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for now := start; now.Before(deadline); now = <-ticker.C {
-		spec := nextSpec(rng, benches, *mix, *grid)
+		spec := nextSpec(rng, benches, *mix, *energyMix, *grid)
 		body, _ := json.Marshal(spec)
 		rep.Submitted++
 		resp, err := client.Post(*url+"/v1/jobs", "application/json", strings.NewReader(string(body)))
@@ -232,8 +236,9 @@ func main() {
 
 // nextSpec draws the next spec of the deterministic stream: guardband
 // points on a -grid-sized ambient lattice (grid size sets how often dedup
-// and the flow cache see repeats), a -mix fraction of short sweeps.
-func nextSpec(rng *rand.Rand, benches []string, mix float64, grid int) jobs.Spec {
+// and the flow cache see repeats), a -mix fraction of short sweeps, and an
+// -energy-mix fraction of min-energy Vdd bisections at the baseline clock.
+func nextSpec(rng *rand.Rand, benches []string, mix, energyMix float64, grid int) jobs.Spec {
 	if grid < 1 {
 		grid = 1
 	}
@@ -242,15 +247,27 @@ func nextSpec(rng *rand.Rand, benches []string, mix float64, grid int) jobs.Spec
 	}
 	bench := benches[rng.Intn(len(benches))]
 	ambient := 20 + 0.05*float64(rng.Intn(grid)) // 0.05°C lattice from 20°C up
-	if rng.Float64() < mix {
+	switch r := rng.Float64(); {
+	case r < mix:
 		n := 2 + rng.Intn(2)
 		amb := make([]float64, n)
 		for i := range amb {
 			amb[i] = ambient + 10*float64(i)
 		}
 		return jobs.Spec{Kind: jobs.KindSweep, Benchmark: bench, Ambients: amb}
+	case r < mix+energyMix:
+		// One- or two-ambient min-energy searches at the benchmark's own
+		// baseline clock (TargetMHz 0); the second point rides 10°C hotter so
+		// a sweep shares its bisection derivations through the VddLab.
+		n := 1 + rng.Intn(2)
+		amb := make([]float64, n)
+		for i := range amb {
+			amb[i] = ambient + 10*float64(i)
+		}
+		return jobs.Spec{Kind: jobs.KindMinEnergy, Benchmark: bench, Ambients: amb}
+	default:
+		return jobs.Spec{Kind: jobs.KindGuardband, Benchmark: bench, AmbientC: ambient}
 	}
-	return jobs.Spec{Kind: jobs.KindGuardband, Benchmark: bench, AmbientC: ambient}
 }
 
 // fleetScrape is the concatenation of every replica's parsed /metrics.

@@ -51,6 +51,6 @@ func main() {
 
 	static := res.BaselineMHz
 	fmt.Printf("\na fixed worst-case clock would run the whole day at %.1f MHz;\n", static)
-	fmt.Printf("adapting per epoch delivers %.1f MHz on average (+%.1f%% throughput)\n",
+	fmt.Printf("adapting per epoch delivers %.1f MHz on average (%+.1f%% throughput)\n",
 		res.TimeAvgFmaxMHz, res.AvgGainPct)
 }

@@ -11,6 +11,7 @@
 package tafpga_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -288,6 +289,111 @@ func BenchmarkGuardbandSweepBatch(b *testing.B) {
 			}
 			b.ReportMetric(float64(sum.LockstepIters), "lockstep-rounds")
 			b.ReportMetric(float64(sum.RetiredEarly), "retired-early")
+		}
+	}
+}
+
+// energyAmbients is the ambient axis of the min-energy benchmark pair.
+// Neighboring ambients bisect the same dyadic voltage grid, so the axis is
+// exactly the workload the VddLab's per-rail memoization targets.
+func energyAmbients() []float64 { return []float64{0, 25, 70} }
+
+// naiveEnergyModels derives the per-rail models for one probe from scratch
+// — Implementation.AtVdd straight off the base, no memoization — so every
+// probe of every ambient pays the full device re-characterization and model
+// assembly. This is the "before" shape of the search: correct, and what a
+// caller without the VddLab would write.
+func naiveEnergyModels(im *flow.Implementation, ambientC float64) func(float64) (guardband.EnergyModels, error) {
+	nominal := im.Device.Kit.Buf.Vdd
+	return func(vdd float64) (guardband.EnergyModels, error) {
+		v := im
+		if vdd != nominal {
+			var err error
+			v, err = im.AtVdd(vdd)
+			if err != nil {
+				return guardband.EnergyModels{}, err
+			}
+		}
+		if err := v.Device.Kit.OperableAt(ambientC); err != nil {
+			return guardband.EnergyModels{}, err
+		}
+		return guardband.EnergyModels{Timing: v.Timing, Power: v.Power, Thermal: v.Thermal}, nil
+	}
+}
+
+// BenchmarkMinEnergySearch measures the min-energy objective across the
+// ambient axis through one VddLab: probes at repeated rails (neighboring
+// ambients walk the same dyadic voltage grid) reuse the memoized device
+// tables and analysis models.
+func BenchmarkMinEnergySearch(b *testing.B) {
+	im := innerLoopFixture(b)
+	ambients := energyAmbients()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab := flow.NewVddLab(im)
+		probes := 0
+		for _, amb := range ambients {
+			res, err := lab.MinEnergy(guardband.DefaultEnergyOptions(amb))
+			if err != nil {
+				b.Fatal(err)
+			}
+			probes += res.Probes
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(probes), "vdd-probes")
+		}
+	}
+}
+
+// BenchmarkMinEnergyRebuild measures the same searches with per-probe
+// from-scratch model derivation (no memoization, no sharing across
+// ambients) — the naive "before" half of the pair. The physics is
+// bit-identical; only the derivation work differs.
+func BenchmarkMinEnergyRebuild(b *testing.B) {
+	im := innerLoopFixture(b)
+	ambients := energyAmbients()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, amb := range ambients {
+			opts := guardband.DefaultEnergyOptions(amb)
+			opts.NominalVddV = im.Device.Kit.Buf.Vdd
+			opts.ModelsAt = naiveEnergyModels(im, amb)
+			if _, err := guardband.RunEnergy(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestMinEnergyBenchmarkAgreement guards the pair: the memoized and naive
+// searches must land on identical physics (only Stats — wall-clock and
+// kernel counts — may differ).
+func TestMinEnergyBenchmarkAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("implements mcml; skipped in -short")
+	}
+	ctx := sharedContext(t)
+	im, err := ctx.Implementation("mcml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := flow.NewVddLab(im)
+	for _, amb := range energyAmbients() {
+		viaLab, err := lab.MinEnergy(guardband.DefaultEnergyOptions(amb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := guardband.DefaultEnergyOptions(amb)
+		opts.NominalVddV = im.Device.Kit.Buf.Vdd
+		opts.ModelsAt = naiveEnergyModels(im, amb)
+		naive, err := guardband.RunEnergy(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := *viaLab, *naive
+		a.Stats, b.Stats = guardband.Stats{}, guardband.Stats{}
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Fatalf("ambient %g: memoized and naive searches diverged:\nlab:   %+v\nnaive: %+v", amb, a, b)
 		}
 	}
 }

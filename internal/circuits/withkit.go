@@ -1,0 +1,22 @@
+package circuits
+
+import "tafpga/internal/techmodel"
+
+// WithKit returns a copy of the mux evaluated against a different process
+// kit — typically one derived at another supply rail by Kit.AtVdd. The sized
+// transistor widths, inter-circuit linkage (DriveUm, FanoutFF), and the area
+// reference anchoring the wire-load feedback are all carried over unchanged:
+// the silicon is frozen, only the electrical model underneath it moves.
+func (m *Mux) WithKit(kit *techmodel.Kit) *Mux {
+	out := *m
+	out.kit = kit
+	return &out
+}
+
+// WithKit returns a copy of the LUT evaluated against a different process
+// kit, preserving the sized widths and the area reference (see Mux.WithKit).
+func (l *LUT) WithKit(kit *techmodel.Kit) *LUT {
+	out := *l
+	out.kit = kit
+	return &out
+}

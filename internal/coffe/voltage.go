@@ -1,0 +1,41 @@
+package coffe
+
+// AtVdd returns a device re-characterized at a different core supply on the
+// same sized silicon. A fabricated fabric cannot be re-sized when its rail
+// moves, so every transistor width, inter-circuit linkage load, DSP synthesis
+// knob, and layout area carries over unchanged; only the electrical models —
+// the per-kind delay/leakage lookup tables, switched-capacitance and area
+// scalars, and the flip-flop characterization — are rebuilt against the kit
+// derived by techmodel.Kit.AtVdd. The BRAM array keeps its own low-power
+// rail.
+//
+// This is the inner knob of the min-energy guardband objective: a downward
+// voltage probe re-characterizes, it does not re-run the sizing flow. A rail
+// that cannot conduct across the device's tabulated temperature range is
+// rejected with an error classifying as techmodel.ErrNonConducting — the
+// voltage search treats that as a bound, never a panic.
+func (d *Device) AtVdd(vdd float64) (*Device, error) {
+	kit, err := d.Kit.AtVdd(vdd)
+	if err != nil {
+		return nil, err
+	}
+	// The lookup tables evaluate the circuit models across [tabLoC, tabHiC],
+	// and Vth rises as temperature falls, so conduction at the cold end of
+	// the table range guarantees buildTables cannot hit the Overdrive panic.
+	if err := kit.OperableAt(tabLoC); err != nil {
+		return nil, err
+	}
+	out := *d
+	out.Kit = kit
+	out.Arch.Vdd = vdd
+	out.SB = d.SB.WithKit(kit)
+	out.CB = d.CB.WithKit(kit)
+	out.Local = d.Local.WithKit(kit)
+	out.Feedback = d.Feedback.WithKit(kit)
+	out.Output = d.Output.WithKit(kit)
+	out.LUT = d.LUT.WithKit(kit)
+	out.RAM = d.RAM.WithKit(kit)
+	out.Mult = d.Mult.WithKit(kit)
+	out.buildTables()
+	return &out, nil
+}

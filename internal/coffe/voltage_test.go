@@ -1,0 +1,98 @@
+package coffe
+
+import (
+	"errors"
+	"testing"
+
+	"tafpga/internal/techmodel"
+)
+
+// sizedDevice caches one sized device for the voltage tests; sizing is the
+// expensive step these tests exist to prove AtVdd does not repeat.
+var sizedDevice *Device
+
+func testDevice(t *testing.T) *Device {
+	t.Helper()
+	if sizedDevice == nil {
+		sizedDevice = MustSizeDevice(techmodel.Default22nm(), DefaultParams(), 25)
+	}
+	return sizedDevice
+}
+
+// TestDeviceAtVddFixedSilicon pins the re-characterization contract: the
+// derived device keeps the sized widths bit-for-bit (silicon is frozen), is
+// slower and lower-leakage at the reduced rail, and leaves the source device
+// untouched.
+func TestDeviceAtVddFixedSilicon(t *testing.T) {
+	d := testDevice(t)
+	lo, err := d.AtVdd(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Kinds() {
+		vd, vl := d.Vars(k), lo.Vars(k)
+		if len(vd) != len(vl) {
+			t.Fatalf("%v: sizing variable count changed", k)
+		}
+		for i := range vd {
+			if vd[i] != vl[i] {
+				t.Fatalf("%v: sizing variable %d moved under AtVdd: %g vs %g", k, i, vd[i], vl[i])
+			}
+		}
+		if d.Area(k) != lo.Area(k) {
+			t.Fatalf("%v: layout area moved under AtVdd", k)
+		}
+		if lo.Delay(k, 25) <= d.Delay(k, 25) {
+			t.Fatalf("%v: lower rail must be slower: %g vs %g ps", k, lo.Delay(k, 25), d.Delay(k, 25))
+		}
+	}
+	if lo.Kit.Buf.Vdd != 0.7 || lo.Arch.Vdd != 0.7 {
+		t.Fatal("derived device must carry the new rail")
+	}
+	if lo.Kit.SRAM.Vdd != d.Kit.SRAM.Vdd {
+		t.Fatal("BRAM low-power rail must be untouched")
+	}
+	if d.Kit.Buf.Vdd != 0.8 || d.Arch.Vdd != 0.8 {
+		t.Fatal("AtVdd mutated the source device")
+	}
+}
+
+// TestDeviceAtVddIdentity: re-deriving at the same rail reproduces every
+// table entry, so a probe at nominal Vdd is bit-identical to the original.
+func TestDeviceAtVddIdentity(t *testing.T) {
+	d := testDevice(t)
+	same, err := d.AtVdd(d.Kit.Buf.Vdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Kinds() {
+		for _, tempC := range []float64{-10, 0, 25, 70, 120} {
+			if same.Delay(k, tempC) != d.Delay(k, tempC) {
+				t.Fatalf("%v: delay at %g°C changed under identity re-derivation", k, tempC)
+			}
+			if same.Leak(k, tempC) != d.Leak(k, tempC) {
+				t.Fatalf("%v: leakage at %g°C changed under identity re-derivation", k, tempC)
+			}
+		}
+		if same.CEff(k) != d.CEff(k) {
+			t.Fatalf("%v: CEff changed under identity re-derivation", k)
+		}
+	}
+}
+
+// TestDeviceAtVddColdBound: a rail that clears the T0 headroom check but not
+// the cold end of the lookup-table range must be rejected with a classified
+// ErrNonConducting — the bound a downward voltage search stops at — and the
+// derivation must never reach the Overdrive panic.
+func TestDeviceAtVddColdBound(t *testing.T) {
+	d := testDevice(t)
+	// Pass Vth0 = 0.42 V: 0.48 V conducts at T0 but the table floor (−10 °C)
+	// adds 14 mV of Vth, leaving less than the headroom margin.
+	_, err := d.AtVdd(0.48)
+	if err == nil {
+		t.Fatal("expected the cold table bound to reject 0.48 V")
+	}
+	if !errors.Is(err, techmodel.ErrNonConducting) {
+		t.Fatalf("cold-bound rejection must classify as ErrNonConducting, got %v", err)
+	}
+}

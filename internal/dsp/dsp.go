@@ -277,6 +277,15 @@ func NewBlockWidth(kit *techmodel.Kit, n int) *Block {
 // Netlist exposes the combinational core for inspection and tests.
 func (b *Block) Netlist() *Netlist { return b.nl }
 
+// WithKit returns a copy of the block evaluated against a different process
+// kit, preserving the synthesized drive scale and P:N skew. The gate-level
+// netlist is immutable after construction and is shared, not copied.
+func (b *Block) WithKit(kit *techmodel.Kit) *Block {
+	out := *b
+	out.kit = kit
+	return &out
+}
+
 func (b *Block) lib(tempC float64) *stdcell.Library {
 	return stdcell.CharacterizeScaled(b.kit, tempC, b.DriveScale, b.PNSkew)
 }

@@ -104,6 +104,55 @@ func WriteThermalCompareCSV(w io.Writer, rs []ThermalCompareResult) error {
 	return cw.Error()
 }
 
+// WriteEnergyCSV exports the min-energy sweep (the energy/op scorecard).
+func WriteEnergyCSV(w io.Writer, rows []EnergyRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "ambient_c", "target_mhz", "baseline_mhz",
+		"vdd_nom_v", "vdd_min_v", "power_nom_uw", "power_uw", "savings_pct",
+		"energy_nom_pj", "energy_pj", "fmax_mhz", "feasible", "probes", "iterations", "converged"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Name,
+			fmt.Sprintf("%g", r.AmbientC),
+			fmt.Sprintf("%.2f", r.TargetMHz),
+			fmt.Sprintf("%.2f", r.BaselineMHz),
+			fmt.Sprintf("%.3f", r.NominalVddV),
+			fmt.Sprintf("%.3f", r.MinVddV),
+			fmt.Sprintf("%.2f", r.NominalPowerUW),
+			fmt.Sprintf("%.2f", r.PowerUW),
+			fmt.Sprintf("%.2f", r.SavingsPct),
+			fmt.Sprintf("%.4f", r.NominalEnergyPJ),
+			fmt.Sprintf("%.4f", r.EnergyPJ),
+			fmt.Sprintf("%.2f", r.FmaxMHz),
+			fmt.Sprintf("%t", r.Feasible),
+			fmt.Sprintf("%d", r.Probes),
+			fmt.Sprintf("%d", r.Iterations),
+			fmt.Sprintf("%t", r.Converged),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, amb := range ambientsOf(rows) {
+		if err := cw.Write([]string{"average", fmt.Sprintf("%g", amb), "", "", "", "", "", "",
+			fmt.Sprintf("%.2f", AverageSavings(rows, amb)), "", "", "", "", "", "", ""}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ambientsOf collects the distinct ambients of a row set, ascending.
+func ambientsOf(rows []EnergyRow) []float64 {
+	set := map[float64]bool{}
+	for _, r := range rows {
+		set[r.AmbientC] = true
+	}
+	return sortedKeys(set)
+}
+
 // WriteFig2CSV exports the Fig. 2 chunk table.
 func WriteFig2CSV(w io.Writer, rows []Fig2Row) error {
 	cw := csv.NewWriter(w)

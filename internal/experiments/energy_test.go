@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tafpga/internal/guardband"
+)
+
+// energyRows runs the standard two-benchmark, two-ambient sweep on the
+// shared test context.
+func energyRows(t *testing.T, c *Context) []EnergyRow {
+	t.Helper()
+	saved := c.Benchmarks
+	c.Benchmarks = []string{"sha", "mkPktMerge"}
+	defer func() { c.Benchmarks = saved }()
+	rows, err := c.EnergySweep([]float64{25, 70}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestEnergySweepGolden holds the sweep to the result shape the paper's
+// follow-up promises: on every benchmark the benign ambient recovers real
+// voltage headroom at iso-frequency, the saving shrinks as the ambient
+// approaches the worst case, and every row's accounting is self-consistent.
+func TestEnergySweepGolden(t *testing.T) {
+	c := testContext(t)
+	rows := energyRows(t, c)
+	if len(rows) != 4 {
+		t.Fatalf("2 benchmarks x 2 ambients expected, got %d rows", len(rows))
+	}
+	want := []struct {
+		name string
+		amb  float64
+	}{{"sha", 25}, {"sha", 70}, {"mkPktMerge", 25}, {"mkPktMerge", 70}}
+	for i, r := range rows {
+		if r.Name != want[i].name || r.AmbientC != want[i].amb {
+			t.Fatalf("row %d is %s@%g, want %s@%g (benchmark-major suite order)",
+				i, r.Name, r.AmbientC, want[i].name, want[i].amb)
+		}
+		if !r.Feasible {
+			t.Fatalf("%s@%g: own baseline target infeasible", r.Name, r.AmbientC)
+		}
+		if r.TargetMHz != r.BaselineMHz {
+			t.Fatalf("%s@%g: default target %.1f differs from baseline %.1f",
+				r.Name, r.AmbientC, r.TargetMHz, r.BaselineMHz)
+		}
+		if r.MinVddV >= r.NominalVddV {
+			t.Fatalf("%s@%g: no voltage headroom recovered (%.3f V)", r.Name, r.AmbientC, r.MinVddV)
+		}
+		if r.SavingsPct <= 0 || r.PowerUW >= r.NominalPowerUW {
+			t.Fatalf("%s@%g: no iso-frequency saving", r.Name, r.AmbientC)
+		}
+		if r.FmaxMHz < r.TargetMHz {
+			t.Fatalf("%s@%g: winning rail misses the target", r.Name, r.AmbientC)
+		}
+		if r.EnergyPJ <= 0 || r.EnergyPJ >= r.NominalEnergyPJ {
+			t.Fatalf("%s@%g: energy/op did not drop (%.3f vs %.3f pJ)",
+				r.Name, r.AmbientC, r.EnergyPJ, r.NominalEnergyPJ)
+		}
+		if r.Probes < 2 || r.Iterations < r.Probes || r.Stats.ThermalSolves == 0 {
+			t.Fatalf("%s@%g: implausible accounting %+v", r.Name, r.AmbientC, r)
+		}
+	}
+	// The margin shrinks with ambient: less thermal headroom at 70 °C means
+	// less voltage headroom, exactly like the Fig. 6 → Fig. 7 gain drop.
+	for _, name := range []string{"sha", "mkPktMerge"} {
+		var at25, at70 EnergyRow
+		for _, r := range rows {
+			if r.Name == name && r.AmbientC == 25 {
+				at25 = r
+			}
+			if r.Name == name && r.AmbientC == 70 {
+				at70 = r
+			}
+		}
+		if at70.SavingsPct >= at25.SavingsPct {
+			t.Errorf("%s: savings must shrink as ambient rises: %.2f%% at 25°C vs %.2f%% at 70°C",
+				name, at25.SavingsPct, at70.SavingsPct)
+		}
+		if at70.MinVddV < at25.MinVddV {
+			t.Errorf("%s: hotter ambient found a lower rail (%.3f V vs %.3f V)",
+				name, at70.MinVddV, at25.MinVddV)
+		}
+	}
+	if avg := AverageSavings(rows, 25); avg <= 0 {
+		t.Fatalf("average savings at 25°C = %.2f%%", avg)
+	}
+	if inf := InfeasibleEnergy(rows); inf != nil {
+		t.Fatalf("unexpected infeasible rows: %v", inf)
+	}
+}
+
+// TestEnergySweepDeterministic: two sweeps on one context (second fully
+// cache-warm) report identical rows — the serving layer's byte-identity
+// contract rests on this.
+func TestEnergySweepDeterministic(t *testing.T) {
+	c := testContext(t)
+	a := energyRows(t, c)
+	b := energyRows(t, c)
+	// Stats carry wall-clock nanoseconds; the reported physics must match
+	// exactly, so compare with the accounting zeroed.
+	strip := func(rows []EnergyRow) []EnergyRow {
+		out := append([]EnergyRow(nil), rows...)
+		for i := range out {
+			out[i].Stats = guardband.Stats{}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(strip(a), strip(b)) {
+		t.Fatalf("energy sweep not deterministic:\n%+v\nvs\n%+v", strip(a), strip(b))
+	}
+}
+
+// TestEnergySweepRendering: the scorecard table and CSV carry every row and
+// the per-ambient averages.
+func TestEnergySweepRendering(t *testing.T) {
+	c := testContext(t)
+	rows := energyRows(t, c)
+	table := FormatEnergySweep("energy", rows)
+	for _, want := range []string{"sha", "mkPktMerge", "Vmin(V)", "average"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	if strings.Contains(table, "INFEASIBLE") {
+		t.Fatalf("feasible sweep rendered an INFEASIBLE flag:\n%s", table)
+	}
+	var buf bytes.Buffer
+	if err := WriteEnergyCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if n := strings.Count(got, "\n"); n != 1+len(rows)+2 {
+		t.Fatalf("CSV has %d lines, want header + %d rows + 2 averages:\n%s", n, len(rows), got)
+	}
+	if !strings.HasPrefix(got, "benchmark,ambient_c,target_mhz,") {
+		t.Fatalf("CSV header changed:\n%s", got)
+	}
+}

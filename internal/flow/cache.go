@@ -79,10 +79,16 @@ type cachePayload struct {
 // cacheKey hashes what place-and-route actually depends on: the netlist
 // content (its BLIF serialization), the architecture parameters after any
 // ChannelTracks override, the placement seed and effort, and the router
-// schedule. Activity estimation (PIDensity) and the device's thermal corner
-// are deliberately excluded — neither influences which tiles and wires the
-// implementation uses, and both are recomputed on a hit.
-func cacheKey(nl *netlist.Netlist, params coffe.Params, opts Options) (string, error) {
+// schedule. Activity estimation (PIDensity) is deliberately excluded — it
+// never influences which tiles and wires the implementation uses and is
+// recomputed on a hit. The device's corner is excluded too, with one
+// exception: thermal-aware placement consumes the device's power signature
+// (thermalest.BlockPowerUW reads the rails and the CEff table, both of which
+// move with the sizing corner and with Kit.AtVdd), so with the thermal term
+// enabled the signature joins the key — without it, a build at one corner
+// could be served a stale placement annealed against another corner's power
+// distribution.
+func cacheKey(nl *netlist.Netlist, dev *coffe.Device, params coffe.Params, opts Options) (string, error) {
 	h := sha256.New()
 	if err := nl.WriteBLIF(h); err != nil {
 		return "", err
@@ -111,6 +117,15 @@ func cacheKey(nl *netlist.Netlist, params coffe.Params, opts Options) (string, e
 	if opts.ThermalPlace.enabled() {
 		fmt.Fprintf(h, "|thermal:w=%g,r=%d",
 			opts.ThermalPlace.Weight, opts.ThermalPlace.effectiveRadius())
+		// The power-relevant device-corner signature: exactly the inputs
+		// BlockPowerUW folds into the per-block power proxy the annealer
+		// optimizes against. Keyed only inside the enabled branch so
+		// weight-0 and legacy keys stay byte-identical.
+		fmt.Fprintf(h, "|corner:vdd=%g,vddl=%g,ceff=",
+			dev.Kit.Buf.Vdd, dev.Kit.SRAM.Vdd)
+		for _, k := range coffe.Kinds() {
+			fmt.Fprintf(h, "%g,", dev.CEff(k))
+		}
 	}
 	return fmt.Sprintf("%x", h.Sum(nil)), nil
 }

@@ -22,16 +22,17 @@ func TestCacheKeyIgnoresRouteWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	params := coffe.DefaultParams()
+	d, _ := devices(t)
 
 	opts := testOptions("sha")
-	base, err := cacheKey(nl, params, opts)
+	base, err := cacheKey(nl, d, params, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range []int{1, 2, 8} {
 		o := opts
 		o.Router.Workers = w
-		k, err := cacheKey(nl, params, o)
+		k, err := cacheKey(nl, d, params, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,7 +44,7 @@ func TestCacheKeyIgnoresRouteWorkers(t *testing.T) {
 	// The schedule knobs must still discriminate.
 	o := opts
 	o.Router.BBoxMargin++
-	k, err := cacheKey(nl, params, o)
+	k, err := cacheKey(nl, d, params, o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -143,7 +143,7 @@ func Implement(nl *netlist.Netlist, dev *coffe.Device, opts Options) (*Implement
 
 	var key string
 	if opts.Cache != nil && !opts.Reference {
-		if k, err := cacheKey(nl, params, opts); err == nil {
+		if k, err := cacheKey(nl, dev, params, opts); err == nil {
 			key = k
 			if pay, ok := opts.Cache.lookup(key); ok {
 				if placed, routed, ok := pay.restore(nl, grid, packed); ok {

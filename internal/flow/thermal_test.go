@@ -24,8 +24,9 @@ func TestCacheKeyThermalPlace(t *testing.T) {
 		t.Fatal(err)
 	}
 	params := coffe.DefaultParams()
+	d25, d70 := devices(t)
 	opts := testOptions("sha")
-	base, err := cacheKey(nl, params, opts)
+	base, err := cacheKey(nl, d25, params, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestCacheKeyThermalPlace(t *testing.T) {
 	key := func(tp ThermalPlace) string {
 		o := opts
 		o.ThermalPlace = tp
-		k, err := cacheKey(nl, params, o)
+		k, err := cacheKey(nl, d25, params, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,6 +67,38 @@ func TestCacheKeyThermalPlace(t *testing.T) {
 	if key(ThermalPlace{Weight: 0.5, KernelRadius: thermalest.DefaultRadius + 2}) == on {
 		t.Fatal("radius change did not change the cache key")
 	}
+
+	// Device-corner rules. Disabled: the key must stay device-blind so every
+	// legacy entry (which never hashed the device) stays warm.
+	keyDev := func(d *coffe.Device, tp ThermalPlace) string {
+		o := opts
+		o.ThermalPlace = tp
+		k, err := cacheKey(nl, d, params, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	if keyDev(d70, ThermalPlace{}) != base {
+		t.Fatal("disabled thermal term keyed by device corner: legacy entries go cold")
+	}
+	// Enabled: the thermal cost reads the device's Vdd rails and CEff table,
+	// so corners that change them must not share an entry. dev25 vs dev70
+	// share an identical Arch (the sizing temperature is not a Params field)
+	// — before the corner signature these collided.
+	if keyDev(d70, ThermalPlace{Weight: 0.5}) == on {
+		t.Fatal("sizing corner (25C vs 70C) did not change the thermal cache key")
+	}
+	// A re-characterized rail on the same silicon changes the kit Vdd only;
+	// pass the *same* params so the discrimination is purely the corner
+	// signature, not the hashed architecture.
+	low, err := d25.AtVdd(0.72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyDev(low, ThermalPlace{Weight: 0.5}) == on {
+		t.Fatal("core rail change did not change the thermal cache key")
+	}
 }
 
 // thermalBuild runs the full cacheless flow front-end with the given
@@ -73,6 +106,12 @@ func TestCacheKeyThermalPlace(t *testing.T) {
 func thermalBuild(t *testing.T, name string, scale float64, seed int64, tp ThermalPlace) *Implementation {
 	t.Helper()
 	d, _ := devices(t)
+	return thermalBuildOn(t, d, name, scale, seed, tp)
+}
+
+// thermalBuildOn is thermalBuild on an explicit device corner.
+func thermalBuildOn(t *testing.T, d *coffe.Device, name string, scale float64, seed int64, tp ThermalPlace) *Implementation {
+	t.Helper()
 	prof, err := bench.ByName(name)
 	if err != nil {
 		t.Fatal(err)
@@ -89,6 +128,34 @@ func thermalBuild(t *testing.T, name string, scale float64, seed int64, tp Therm
 		t.Fatal(err)
 	}
 	return im
+}
+
+// TestThermalPlaceVddCornerPlacement proves the pre-fix cache collision was
+// observable, not theoretical: with thermal placement enabled, two core-rail
+// corners of the same silicon produce different placement bytes (the thermal
+// cost reads the rails, and a BRAM-bearing design keeps its SRAM-rail tiles
+// fixed while the logic tiles scale — the power *distribution* changes, not
+// just its magnitude). A shared cache entry would have served one corner the
+// other corner's placement. With the thermal term disabled the flow never
+// reads the rail, so the corners stay byte-identical — which is exactly why
+// legacy keys are allowed to stay device-blind.
+func TestThermalPlaceVddCornerPlacement(t *testing.T) {
+	d25, _ := devices(t)
+	low, err := d25.AtVdd(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := ThermalPlace{Weight: 1.0}
+	nom := thermalBuildOn(t, d25, "mkPktMerge", 1.0/8, 1, tp)
+	drop := thermalBuildOn(t, low, "mkPktMerge", 1.0/8, 1, tp)
+	if bytes.Equal(flowFingerprint(t, nom), flowFingerprint(t, drop)) {
+		t.Fatal("thermal placement ignored the core rail: two -vdd corners share placement bytes")
+	}
+	baseNom := thermalBuildOn(t, d25, "mkPktMerge", 1.0/8, 1, ThermalPlace{})
+	baseDrop := thermalBuildOn(t, low, "mkPktMerge", 1.0/8, 1, ThermalPlace{})
+	if !bytes.Equal(flowFingerprint(t, baseNom), flowFingerprint(t, baseDrop)) {
+		t.Fatal("thermally-oblivious flow depends on the core rail: legacy keys cannot stay device-blind")
+	}
 }
 
 // TestThermalZeroWeightFlowIdentity is the tentpole's safety contract:

@@ -1,0 +1,78 @@
+package flow
+
+import (
+	"errors"
+	"testing"
+
+	"tafpga/internal/guardband"
+	"tafpga/internal/techmodel"
+)
+
+// TestImplementationAtVdd: re-characterizing at another rail is an
+// analysis-only operation — the physical result (placement, routing,
+// activity) is shared by pointer, only the device tables and the three
+// models move, and the derived implementation guardbands like any other.
+func TestImplementationAtVdd(t *testing.T) {
+	im := implement(t, "sha", 1.0/64)
+	v, err := im.AtVdd(0.72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Placed != im.Placed || v.Routed != im.Routed || v.Packed != im.Packed || v.Grid != im.Grid {
+		t.Fatal("AtVdd rebuilt the physical result: placement/routing must be shared")
+	}
+	if v.Device == im.Device || v.Timing == im.Timing || v.Power == im.Power || v.Thermal == im.Thermal {
+		t.Fatal("AtVdd shared an analysis model that must be re-derived")
+	}
+	if got := v.Device.Kit.Buf.Vdd; got != 0.72 {
+		t.Fatalf("derived core rail %.3f V, want 0.72", got)
+	}
+	if im.Device.Kit.Buf.Vdd != 0.8 {
+		t.Fatal("AtVdd mutated the source implementation's device")
+	}
+	rv, err := v.Guardband(guardband.DefaultOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := im.Guardband(guardband.DefaultOptions(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.FmaxMHz >= rn.FmaxMHz {
+		t.Fatalf("lower rail not slower: %.1f MHz at 0.72 V vs %.1f MHz at 0.80 V",
+			rv.FmaxMHz, rn.FmaxMHz)
+	}
+
+	// Non-conducting rails are a classified rejection, not a panic.
+	if _, err := im.AtVdd(0.46); !errors.Is(err, techmodel.ErrNonConducting) {
+		t.Fatalf("0.46 V: got %v, want ErrNonConducting", err)
+	}
+}
+
+// TestVddLabMemoizes: one derivation per rail, the nominal rail is the base
+// itself.
+func TestVddLabMemoizes(t *testing.T) {
+	im := implement(t, "sha", 1.0/64)
+	lab := NewVddLab(im)
+	if lab.NominalVdd() != 0.8 {
+		t.Fatalf("nominal rail %.3f V, want 0.80", lab.NominalVdd())
+	}
+	nom, err := lab.At(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nom != im {
+		t.Fatal("nominal rail did not return the base implementation")
+	}
+	a, err := lab.At(0.72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lab.At(0.72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("repeated probe of one rail re-derived the models")
+	}
+}

@@ -128,7 +128,9 @@ func (r *AdaptiveResult) String() string {
 	if r.SettleErr != "" {
 		settle = "die settle time n/a (" + r.SettleErr + ")"
 	}
-	fmt.Fprintf(&b, "baseline %0.1f MHz; time-averaged %0.1f MHz (+%0.1f%%); %s\n",
+	// %+.1f renders the sign from the value itself: a hardcoded "+" would
+	// print a negative gain as "(+-1.2%)".
+	fmt.Fprintf(&b, "baseline %0.1f MHz; time-averaged %0.1f MHz (%+.1f%%); %s\n",
 		r.BaselineMHz, r.TimeAvgFmaxMHz, r.AvgGainPct, settle)
 	return b.String()
 }

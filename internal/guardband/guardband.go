@@ -80,6 +80,10 @@ type Progress struct {
 	MaxC float64
 	// Converged marks the iteration that met the δT threshold.
 	Converged bool
+	// VddV is the candidate core rail when the event narrates a min-energy
+	// bisection probe (RunEnergy); 0 on the fmax objective's iteration
+	// events, whose runs never leave the nominal rail.
+	VddV float64
 }
 
 // DefaultOptions returns the paper's experimental settings.

@@ -82,6 +82,10 @@ type Event struct {
 	MaxDeltaC float64 `json:"max_delta_c,omitempty"`
 	MaxC      float64 `json:"max_c,omitempty"`
 	Converged bool    `json:"converged,omitempty"`
+	// VddV is the candidate core rail of a min-energy bisection probe
+	// (the progress stream narrates the voltage search, one event per
+	// probe); 0 on fmax-objective iterations.
+	VddV float64 `json:"vdd_v,omitempty"`
 }
 
 // RunFunc executes one spec. It must honor ctx between units of work and

@@ -121,7 +121,7 @@ func (r *Runner) context(ctx context.Context, emit func(Event)) *experiments.Con
 			emit(Event{
 				Benchmark: bench, Phase: phase, Iteration: p.Iteration, AmbientC: p.AmbientC,
 				FmaxMHz: p.FmaxMHz, MaxDeltaC: p.MaxDeltaC, MaxC: p.MaxC,
-				Converged: p.Converged,
+				Converged: p.Converged, VddV: p.VddV,
 			})
 		}
 	}
@@ -156,6 +156,10 @@ func (r *Runner) Run(ctx context.Context, spec Spec, emit func(Event)) (any, err
 			Weight:       spec.ThermalWeight,
 			KernelRadius: spec.ThermalRadius,
 		})
+	case KindMinEnergy:
+		// The spec names one benchmark; the driver sweeps the context suite.
+		c.Benchmarks = []string{spec.Benchmark}
+		return c.EnergySweep(spec.Ambients, spec.TargetMHz)
 	}
 	return nil, fmt.Errorf("jobs: unrunnable spec kind %q", spec.Kind)
 }

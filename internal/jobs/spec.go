@@ -34,6 +34,11 @@ const (
 	// Algorithm-1 guardband twice — thermally-oblivious vs thermal-aware
 	// placement — and reports the peak-temperature and fmax deltas.
 	KindThermalPlaceCompare Kind = "thermal-place-compare"
+	// KindMinEnergy runs the min-energy guardband objective on one
+	// benchmark across an ambient list: per ambient, bisect the minimum
+	// safe core rail that still meets the target frequency (0 = the
+	// benchmark's own conventional worst-case clock).
+	KindMinEnergy Kind = "min-energy"
 )
 
 // Figures are the suite experiments a KindFigure job may request.
@@ -59,6 +64,9 @@ type Spec struct {
 	// are Spec fields and participate in the dedup key.
 	ThermalWeight float64 `json:"thermal_weight,omitempty"`
 	ThermalRadius int     `json:"thermal_radius,omitempty"`
+	// TargetMHz is the min-energy kind's iso-frequency constraint; 0 holds
+	// each run at the benchmark's own conventional worst-case clock.
+	TargetMHz float64 `json:"target_mhz,omitempty"`
 }
 
 // ambientLo/ambientHi bound accepted ambient temperatures — admission
@@ -99,6 +107,25 @@ func (s Spec) Validate() error {
 			if err := checkAmbient(a); err != nil {
 				return err
 			}
+		}
+		return nil
+	case KindMinEnergy:
+		if _, err := bench.ByName(s.Benchmark); err != nil {
+			return fmt.Errorf("jobs: %w", err)
+		}
+		if len(s.Ambients) == 0 {
+			return fmt.Errorf("jobs: min-energy needs at least one ambient")
+		}
+		if len(s.Ambients) > 256 {
+			return fmt.Errorf("jobs: min-energy sweep of %d ambients exceeds the 256-point limit", len(s.Ambients))
+		}
+		for _, a := range s.Ambients {
+			if err := checkAmbient(a); err != nil {
+				return err
+			}
+		}
+		if s.TargetMHz < 0 || s.TargetMHz > 1e5 {
+			return fmt.Errorf("jobs: target %g MHz outside [0, 1e5]", s.TargetMHz)
 		}
 		return nil
 	case KindFigure:
@@ -144,6 +171,14 @@ func (s Spec) Key() string {
 		fmt.Fprintf(&b, "|figure:%s", s.Figure)
 	case KindThermalPlaceCompare:
 		fmt.Fprintf(&b, "|ambient:%g|w:%g|r:%d", s.AmbientC, s.ThermalWeight, s.ThermalRadius)
+	case KindMinEnergy:
+		fmt.Fprintf(&b, "|bench:%s|target:%g|ambients:", s.Benchmark, s.TargetMHz)
+		for i, a := range s.Ambients {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", a)
+		}
 	}
 	return fmt.Sprintf("%x", sha256.Sum256([]byte(b.String())))
 }

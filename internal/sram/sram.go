@@ -106,6 +106,17 @@ func NewCore(name string, kit *techmodel.Kit, cfg Config, sizingTempC float64) *
 
 func (c *Core) Name() string   { return c.name }
 func (c *Core) Config() Config { return c.cfg }
+
+// WithKit returns a copy of the core evaluated against a different process
+// kit — typically one derived at another core-logic supply. The sized widths
+// and organization are carried over unchanged; note the SRAM array flavor
+// keeps its own low-power rail under Kit.AtVdd, so only the peripheral
+// (decoder, wordline, sense, output) characterization actually moves.
+func (c *Core) WithKit(kit *techmodel.Kit) *Core {
+	out := *c
+	out.kit = kit
+	return &out
+}
 func (c *Core) Vars() []float64 {
 	return []float64{c.wCell, c.wWL, c.wDec, c.wSA, c.wOut, c.pnSplit}
 }

@@ -1,9 +1,46 @@
 package techmodel
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrNonConducting classifies a flavor (usually one derived by AtVdd) whose
+// supply leaves no overdrive headroom at some requested temperature. Vth
+// rises as temperature falls (Vth(T) = Vth0 − KVth·(T−T0)), so a rail that
+// conducts at T0 can stop conducting at a cold ambient: downward voltage
+// searches and cryo sweeps must treat this as a bound, not a crash. Callers
+// test for it with errors.Is.
+var ErrNonConducting = errors.New("techmodel: supply below conduction threshold")
+
+// conductionMarginV is the minimum overdrive headroom in volts a flavor must
+// keep above Vth for the alpha-power model to remain meaningful.
+const conductionMarginV = 0.05
+
+// OperableAt reports whether the flavor conducts with at least the model's
+// headroom margin at the given junction temperature. It is the non-panicking
+// counterpart to Overdrive: a nil return guarantees Overdrive(tempC) cannot
+// panic, a non-nil return wraps ErrNonConducting for classification.
+func (f *Flavor) OperableAt(tempC float64) error {
+	if f.Vdd-f.Vth(tempC) <= conductionMarginV {
+		return fmt.Errorf("%w: %s at %.3f V has Vth %.3f V at %.1f°C",
+			ErrNonConducting, f.Name, f.Vdd, f.Vth(tempC), tempC)
+	}
+	return nil
+}
+
+// OperableAt reports whether every flavor of the kit conducts at the given
+// junction temperature. The pass-transistor flavor carries the highest Vth
+// and is usually the binding constraint at cold corners.
+func (k *Kit) OperableAt(tempC float64) error {
+	for _, f := range []*Flavor{&k.Buf, &k.BufP, &k.Pass, &k.Cell, &k.CellP, &k.SRAM} {
+		if err := f.OperableAt(tempC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // AtVdd returns a derived flavor re-characterized at a different supply
 // voltage. The alpha-power law gives the drive-resistance scaling
@@ -17,8 +54,9 @@ import (
 // paper's "100°C@0.8V" and the DVFS-style exploration of its related work
 // ([12], [13]).
 func (f Flavor) AtVdd(vdd float64) (Flavor, error) {
-	if vdd <= f.Vth(T0)+0.05 {
-		return Flavor{}, fmt.Errorf("techmodel: %s cannot operate at %.2f V (Vth %.2f V)", f.Name, vdd, f.Vth(T0))
+	if vdd <= f.Vth(T0)+conductionMarginV {
+		return Flavor{}, fmt.Errorf("%w: %s cannot operate at %.2f V (Vth %.2f V at T0)",
+			ErrNonConducting, f.Name, vdd, f.Vth(T0))
 	}
 	out := f
 	ratio := (vdd / f.Vdd) * math.Pow((f.Vdd-f.Vth0)/(vdd-f.Vth0), f.Alpha)

@@ -1,6 +1,7 @@
 package techmodel
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -52,8 +53,50 @@ func TestAtVddLeakagePower(t *testing.T) {
 
 func TestAtVddRejectsSubThresholdSupply(t *testing.T) {
 	k := Default22nm()
-	if _, err := k.SRAM.AtVdd(0.3); err == nil {
+	_, err := k.SRAM.AtVdd(0.3)
+	if err == nil {
 		t.Fatal("expected error for a supply below threshold")
+	}
+	if !errors.Is(err, ErrNonConducting) {
+		t.Fatalf("sub-threshold rejection must classify as ErrNonConducting, got %v", err)
+	}
+}
+
+// TestOperableAtColdCorner is the cold-corner regression: Vth rises as
+// temperature falls, so a rail that clears the T0 headroom check can stop
+// conducting at a sub-T0 ambient. The derived kit must report that as a
+// classified ErrNonConducting — the search bound — never an Overdrive panic.
+func TestOperableAtColdCorner(t *testing.T) {
+	k := Default22nm()
+	// 0.48 V clears every T0 threshold check (Pass is the binding flavor at
+	// Vth0 = 0.42 V), so the derivation itself succeeds.
+	derived, err := k.AtVdd(0.48)
+	if err != nil {
+		t.Fatalf("0.48 V must derive at T0: %v", err)
+	}
+	if err := derived.OperableAt(T0); err != nil {
+		t.Fatalf("derived kit must conduct at T0: %v", err)
+	}
+	// At −55 °C the pass-transistor Vth has risen by KVth·80 ≈ 32 mV,
+	// eating the headroom margin: the kit must classify, not panic.
+	err = derived.OperableAt(-55)
+	if err == nil {
+		t.Fatal("0.48 V kit must not report headroom at -55°C")
+	}
+	if !errors.Is(err, ErrNonConducting) {
+		t.Fatalf("cold-corner failure must classify as ErrNonConducting, got %v", err)
+	}
+	// A nil OperableAt must guarantee the panicking accessor is safe.
+	for _, tempC := range []float64{-55, -40, 0, 25, 100} {
+		if derived.Pass.OperableAt(tempC) == nil {
+			derived.Pass.Overdrive(tempC)
+		}
+	}
+	// The nominal kit conducts across the whole validated ambient range.
+	for _, tempC := range []float64{-55, 150} {
+		if err := k.OperableAt(tempC); err != nil {
+			t.Fatalf("nominal kit must conduct at %.0f°C: %v", tempC, err)
+		}
 	}
 }
 

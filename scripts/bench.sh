@@ -68,10 +68,13 @@ ROUTE_WORKERS_JSON=""
 SWEEP_BATCH_JSON=""
 case "$SUITE" in
 inner)
-	BENCH='BenchmarkHotspotSolve|BenchmarkSTAAnalyze|BenchmarkSTAIncremental|BenchmarkSTASlacks|BenchmarkGuardbandRun|BenchmarkGuardbandSweep'
+	BENCH='BenchmarkHotspotSolve|BenchmarkSTAAnalyze|BenchmarkSTAIncremental|BenchmarkSTASlacks|BenchmarkGuardbandRun|BenchmarkGuardbandSweep|BenchmarkMinEnergy'
 	BENCHTIME="${BENCHTIME:-10x}"
 	OUT="${OUT:-BENCH_inner_loop.json}"
-	PAIRS='HotspotSolve=HotspotSolveReference,HotspotSolveIterative=HotspotSolveReference,STAAnalyze=STAAnalyzeReference,STAIncrementalLocal=STAAnalyzeLocal,GuardbandRun=GuardbandRunReference,GuardbandSweepBatch=GuardbandSweepSerial'
+	# MinEnergySearch (one VddLab sharing per-rail derivations across the
+	# ambient axis) is paired against the naive per-probe rebuild; the
+	# physics is bit-identical (TestMinEnergyBenchmarkAgreement).
+	PAIRS='HotspotSolve=HotspotSolveReference,HotspotSolveIterative=HotspotSolveReference,STAAnalyze=STAAnalyzeReference,STAIncrementalLocal=STAAnalyzeLocal,GuardbandRun=GuardbandRunReference,GuardbandSweepBatch=GuardbandSweepSerial,MinEnergySearch=MinEnergyRebuild'
 	# The batched sweep runs at full width (one lane per ambient of the
 	# 0:100:10 axis); record the width next to the speedup.
 	SWEEP_BATCH_JSON="${SWEEP_BATCH:-11}"

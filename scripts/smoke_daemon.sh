@@ -8,9 +8,10 @@
 # sweep job and asserts its progress events carry per-lane ambient
 # attribution ("ambient_c"), submits a thermal-place-compare job and asserts
 # its progress events carry per-phase attribution ("phase":"baseline" /
-# "phase":"thermal"), scrapes /metrics for the dedup counters, the per-kind
-# submission counter, and the sweep-lane histogram, and finally SIGTERMs the
-# daemon and asserts a graceful zero-status exit.
+# "phase":"thermal"), submits a min-energy job and asserts its progress
+# events narrate the Vdd bisection ("vdd_v"), scrapes /metrics for the dedup
+# counters, the per-kind submission counter, and the sweep-lane histogram,
+# and finally SIGTERMs the daemon and asserts a graceful zero-status exit.
 #
 # Environment:
 #   ADDR=host:port  listen address (default 127.0.0.1:18080)
@@ -150,22 +151,57 @@ for phase in baseline thermal; do
 		fail "compare stream has no progress event attributed to the $phase phase: $THERMAL_EVENTS"
 done
 
+# The min-energy objective bisects the minimum safe core rail at the
+# benchmark's own baseline clock; every progress event must carry the
+# candidate rail so stream consumers can follow the search.
+ENERGY_SPEC='{"kind":"min-energy","benchmark":"bgm","ambients":[25]}'
+echo "submitting a min-energy job..." >&2
+R5="$(curl -fsS "$BASE/v1/jobs" -d "$ENERGY_SPEC")"
+ID5="$(echo "$R5" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)"
+[ -n "$ID5" ] || fail "no job id in min-energy response: $R5"
+
+echo "polling $ID5 to completion..." >&2
+i=0
+while :; do
+	VIEW="$(curl -fsS "$BASE/v1/jobs/$ID5")"
+	STATE="$(echo "$VIEW" | grep -o '"state":"[^"]*"' | head -1 | cut -d'"' -f4)"
+	case "$STATE" in
+	done) break ;;
+	failed | cancelled) fail "min-energy job ended $STATE: $VIEW" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -le "$TIMEOUT" ] || fail "min-energy job still $STATE after ${TIMEOUT}s"
+	sleep 1
+done
+echo "$VIEW" | grep -q '"result"' || fail "done min-energy job has no result: $VIEW"
+echo "$VIEW" | grep -q '"MinVddV"' || fail "min-energy result has no MinVddV: $VIEW"
+
+echo "checking Vdd-probe attribution in the min-energy stream..." >&2
+ENERGY_EVENTS="$(curl -fsS "$BASE/v1/jobs/$ID5/events")"
+echo "$ENERGY_EVENTS" | tail -1 | grep -q '"state":"done"' || fail "min-energy stream must end done: $ENERGY_EVENTS"
+echo "$ENERGY_EVENTS" | grep -q '"vdd_v":' || fail "min-energy stream has no bisection probe events: $ENERGY_EVENTS"
+# The bisection always probes the nominal rail and at least one lower one.
+RAILS="$(echo "$ENERGY_EVENTS" | grep -o '"vdd_v":[0-9.]*' | sort -u | wc -l)"
+[ "$RAILS" -ge 2 ] || fail "min-energy stream narrated only $RAILS distinct rail(s): $ENERGY_EVENTS"
+
 echo "scraping /metrics..." >&2
 METRICS="$(curl -fsS "$BASE/metrics")"
 # Two batched dispatches: the deduped guardband pair (one single-lane batch)
 # and the sweep job (one three-lane batch) — count 2, lane sum 4. The
-# compare job guardbands through the serial engine, so the histogram does
-# not move; the per-kind counter attributes all four accepted submissions.
+# compare and min-energy jobs run through the serial engine, so the
+# histogram does not move; the per-kind counter attributes all five
+# accepted submissions.
 for want in \
-	"tafpgad_jobs_submitted_total 4" \
+	"tafpgad_jobs_submitted_total 5" \
 	"tafpgad_jobs_deduped_total 1" \
-	"tafpgad_jobs_completed_total 3" \
-	"tafpgad_job_duration_seconds_count 3" \
+	"tafpgad_jobs_completed_total 4" \
+	"tafpgad_job_duration_seconds_count 4" \
 	"tafpgad_sweep_lanes_count 2" \
 	"tafpgad_sweep_lanes_sum 4" \
 	"tafpgad_jobs_total{kind=\"guardband\"} 2" \
 	"tafpgad_jobs_total{kind=\"sweep\"} 1" \
-	"tafpgad_jobs_total{kind=\"thermal-place-compare\"} 1"; do
+	"tafpgad_jobs_total{kind=\"thermal-place-compare\"} 1" \
+	"tafpgad_jobs_total{kind=\"min-energy\"} 1"; do
 	echo "$METRICS" | grep -qF "$want" || fail "/metrics missing '$want':
 $METRICS"
 done
